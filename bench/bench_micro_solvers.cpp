@@ -1,0 +1,185 @@
+// Micro-benchmarks (google-benchmark) for the numeric substrates that sit on
+// the critical path of the Monte-Carlo experiments: Cholesky, Jacobi PCA,
+// the simplex/branch&bound solver, the coordinate-descent alignment, the
+// conditional-Gaussian predictor, chip sampling and buffer configuration.
+
+#include <benchmark/benchmark.h>
+
+#include "core/alignment.hpp"
+#include "core/configurator.hpp"
+#include "core/flow.hpp"
+#include "linalg/decomposition.hpp"
+#include "linalg/eigen.hpp"
+#include "lp/solver.hpp"
+#include "netlist/generator.hpp"
+#include "stats/conditional.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace effitest;
+
+linalg::Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  linalg::Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+  }
+  linalg::Matrix spd = a * a.transposed();
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+void BM_Cholesky(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = random_spd(n, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::cholesky(a));
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = random_spd(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::eigen_symmetric(a));
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(16)->Arg(48)->Arg(96);
+
+void BM_SimplexLp(benchmark::State& state) {
+  // Alignment-LP-shaped problem: T free, eta per path, bounded steps.
+  const auto paths = static_cast<std::size_t>(state.range(0));
+  lp::Model m;
+  const int t = m.add_continuous(-1000.0, 1000.0, 0.0);
+  stats::Rng rng(3);
+  std::vector<int> etas;
+  for (std::size_t p = 0; p < paths; ++p) {
+    const int eta = m.add_continuous(0.0, lp::kInf, 1.0);
+    const double c = rng.uniform(100.0, 200.0);
+    m.add_constraint({{t, 1.0}, {eta, -1.0}}, lp::Sense::kLessEqual, c);
+    m.add_constraint({{t, -1.0}, {eta, -1.0}}, lp::Sense::kLessEqual, -c);
+    etas.push_back(eta);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve_lp(m));
+  }
+}
+BENCHMARK(BM_SimplexLp)->Arg(8)->Arg(32)->Arg(64);
+
+struct FlowFixture {
+  netlist::GeneratedCircuit circuit;
+  netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  timing::CircuitModel model;
+  core::Problem problem;
+
+  FlowFixture()
+      : circuit(netlist::generate_circuit(
+            netlist::paper_benchmark_spec("s9234"))),
+        model(circuit.netlist, lib, circuit.buffered_ffs),
+        problem(model) {}
+
+  static const FlowFixture& get() {
+    static const FlowFixture f;
+    return f;
+  }
+};
+
+void BM_ChipSampling(benchmark::State& state) {
+  const FlowFixture& f = FlowFixture::get();
+  stats::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.sample_chip(rng));
+  }
+}
+BENCHMARK(BM_ChipSampling);
+
+void BM_AlignmentCoordinateDescent(benchmark::State& state) {
+  const FlowFixture& f = FlowFixture::get();
+  stats::Rng rng(5);
+  core::AlignmentInstance inst;
+  inst.problem = &f.problem;
+  inst.current_steps = f.problem.neutral_steps();
+  const auto means = f.model.max_means();
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto p = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(means.size()) - 1));
+    inst.entries.push_back(core::AlignmentEntry{
+        means[p], 1.0, f.problem.src_buffer(p), f.problem.dst_buffer(p)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_alignment(inst, core::AlignMethod::kCoordinateDescent));
+  }
+}
+BENCHMARK(BM_AlignmentCoordinateDescent);
+
+void BM_AlignmentMilp(benchmark::State& state) {
+  const FlowFixture& f = FlowFixture::get();
+  stats::Rng rng(6);
+  core::AlignmentInstance inst;
+  inst.problem = &f.problem;
+  inst.current_steps = f.problem.neutral_steps();
+  const auto means = f.model.max_means();
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto p = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(means.size()) - 1));
+    inst.entries.push_back(core::AlignmentEntry{
+        means[p], 1.0, f.problem.src_buffer(p), f.problem.dst_buffer(p)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_alignment(inst, core::AlignMethod::kMilpCompact));
+  }
+}
+BENCHMARK(BM_AlignmentMilp);
+
+void BM_ConditionalPredictor(benchmark::State& state) {
+  const FlowFixture& f = FlowFixture::get();
+  const linalg::Matrix cov = f.model.max_covariance();
+  const std::vector<double> means = f.model.max_means();
+  std::vector<std::size_t> tested;
+  for (std::size_t p = 0; p < f.model.num_pairs(); p += 7) tested.push_back(p);
+  const core::DelayPredictor pred(cov, means, tested);
+  std::vector<double> ml(tested.size());
+  std::vector<double> mu(tested.size());
+  for (std::size_t t = 0; t < tested.size(); ++t) {
+    ml[t] = means[tested[t]] - 1.0;
+    mu[t] = means[tested[t]] + 1.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred.predict(ml, mu));
+  }
+}
+BENCHMARK(BM_ConditionalPredictor);
+
+void BM_BufferConfiguration(benchmark::State& state) {
+  const FlowFixture& f = FlowFixture::get();
+  const auto means = f.model.max_means();
+  const auto sigmas = f.model.max_sigmas();
+  std::vector<double> lower(means.size());
+  std::vector<double> upper(means.size());
+  for (std::size_t p = 0; p < means.size(); ++p) {
+    lower[p] = means[p] - sigmas[p];
+    upper[p] = means[p] + sigmas[p];
+  }
+  const double td = *std::max_element(means.begin(), means.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::configure_buffers(f.problem, td, lower, upper, {}));
+  }
+}
+BENCHMARK(BM_BufferConfiguration);
+
+void BM_CovarianceBuild(benchmark::State& state) {
+  const FlowFixture& f = FlowFixture::get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model.max_covariance());
+  }
+}
+BENCHMARK(BM_CovarianceBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

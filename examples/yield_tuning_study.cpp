@@ -1,0 +1,67 @@
+// Yield-tuning study: what post-silicon tunable buffers buy a design team.
+//
+// For one circuit, sweeps the designated clock period from aggressive to
+// relaxed and reports three yield curves:
+//   * untuned (no buffers),
+//   * buffers configured from EffiTest measurements (the proposed flow),
+//   * buffers configured with perfect knowledge (upper bound).
+// This is the Figure-7/Table-2 experiment generalized to a period sweep —
+// it shows where tuning buys the most yield (around the median period) and
+// where it cannot help (far tails).
+//
+// Run: ./build/examples/yield_tuning_study [circuit] [chips]
+
+#include <iostream>
+#include <string>
+
+#include "core/flow.hpp"
+#include "core/table.hpp"
+#include "netlist/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace effitest;
+  const std::string circuit = argc > 1 ? argv[1] : "s9234";
+  const std::size_t chips = argc > 2 ? std::stoul(argv[2]) : 200;
+
+  const netlist::GeneratorSpec spec = netlist::paper_benchmark_spec(circuit);
+  const netlist::GeneratedCircuit gen = netlist::generate_circuit(spec);
+  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  const timing::CircuitModel model(gen.netlist, lib, gen.buffered_ffs);
+  const core::Problem problem(model);
+
+  // Period sweep anchored on quantiles of the untuned distribution.
+  stats::Rng cal(99);
+  const double t10 = core::period_quantile(problem, 0.10, 2000, cal);
+  stats::Rng cal2(99);
+  const double t95 = core::period_quantile(problem, 0.95, 2000, cal2);
+
+  std::cout << "Yield vs designated period on " << circuit
+            << " (chips=" << chips << ")\n"
+            << "period sweep: " << t10 << " .. " << t95 << " ps\n\n";
+
+  core::Table table({"T_d(ps)", "untuned(%)", "proposed(%)", "ideal(%)",
+                     "tuning gain(%)"});
+  const int points = 7;
+  for (int k = 0; k < points; ++k) {
+    const double td =
+        t10 + (t95 - t10) * static_cast<double>(k) / (points - 1);
+    core::FlowOptions opts;
+    opts.chips = chips;
+    opts.seed = 5;
+    opts.designated_period = td;
+    const core::FlowResult r = core::run_flow(problem, opts);
+    table.add_row(
+        {core::Table::num(td, 1),
+         core::Table::num(r.metrics.yield_no_buffer * 100.0, 1),
+         core::Table::num(r.metrics.yield_proposed * 100.0, 1),
+         core::Table::num(r.metrics.yield_ideal * 100.0, 1),
+         core::Table::num(
+             (r.metrics.yield_proposed - r.metrics.yield_no_buffer) * 100.0,
+             1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nTuning buffers transfer slack between pipeline stages, so "
+               "the gain peaks where\nthe untuned yield is in its steep "
+               "region and vanishes in both tails.\n";
+  return 0;
+}

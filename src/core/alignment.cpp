@@ -1,0 +1,445 @@
+#include "core/alignment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace effitest::core {
+
+namespace {
+
+/// Buffer value for a (possibly absent) buffer index under `steps`.
+double x_of(const Problem& problem, std::span<const int> steps, int buf) {
+  if (buf < 0) return 0.0;
+  return problem.buffers()[static_cast<std::size_t>(buf)].value(
+      steps[static_cast<std::size_t>(buf)]);
+}
+
+double objective_of(const AlignmentInstance& inst, double period,
+                    std::span<const int> steps) {
+  double acc = 0.0;
+  for (const AlignmentEntry& e : inst.entries) {
+    const double shifted = e.center + x_of(*inst.problem, steps, e.src_buf) -
+                           x_of(*inst.problem, steps, e.dst_buf);
+    acc += e.weight * std::abs(period - shifted);
+  }
+  return acc;
+}
+
+bool hold_ok(const AlignmentInstance& inst, std::span<const int> steps) {
+  for (const HoldConstraintX& h : inst.hold) {
+    const double skew = x_of(*inst.problem, steps, h.src_buf) -
+                        x_of(*inst.problem, steps, h.dst_buf);
+    if (skew < h.lambda - 1e-9) return false;
+  }
+  return true;
+}
+
+/// Sorted static point set with prefix sums: evaluates sum(w |T - m|) and
+/// proposes weighted-median candidates in O(log n).
+class StaticPoints {
+ public:
+  void build(std::vector<std::pair<double, double>> pts) {
+    std::sort(pts.begin(), pts.end());
+    m_.resize(pts.size());
+    prefix_w_.resize(pts.size() + 1);
+    prefix_wm_.resize(pts.size() + 1);
+    prefix_w_[0] = 0.0;
+    prefix_wm_[0] = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      m_[i] = pts[i].first;
+      prefix_w_[i + 1] = prefix_w_[i] + pts[i].second;
+      prefix_wm_[i + 1] = prefix_wm_[i] + pts[i].second * pts[i].first;
+    }
+  }
+
+  [[nodiscard]] double total_weight() const {
+    return prefix_w_.empty() ? 0.0 : prefix_w_.back();
+  }
+
+  /// sum over static points of w * |T - m|.
+  [[nodiscard]] double objective(double t) const {
+    const std::size_t k = static_cast<std::size_t>(
+        std::upper_bound(m_.begin(), m_.end(), t) - m_.begin());
+    const double left = t * prefix_w_[k] - prefix_wm_[k];
+    const double right = (prefix_wm_.back() - prefix_wm_[k]) -
+                         t * (prefix_w_.back() - prefix_w_[k]);
+    return left + right;
+  }
+
+  /// Static point whose cumulative weight first reaches `target`.
+  [[nodiscard]] double point_at_mass(double target) const {
+    if (m_.empty()) return 0.0;
+    const std::size_t k = static_cast<std::size_t>(
+        std::lower_bound(prefix_w_.begin() + 1, prefix_w_.end(), target) -
+        (prefix_w_.begin() + 1));
+    return m_[std::min(k, m_.size() - 1)];
+  }
+
+  [[nodiscard]] bool empty() const { return m_.empty(); }
+
+ private:
+  std::vector<double> m_;
+  std::vector<double> prefix_w_;
+  std::vector<double> prefix_wm_;
+};
+
+AlignmentResult solve_coordinate_descent(const AlignmentInstance& inst) {
+  const Problem& problem = *inst.problem;
+  AlignmentResult out;
+  out.steps = inst.current_steps;
+  out.feasible = hold_ok(inst, out.steps);
+
+  // Buffers that may move: those referenced by an entry.
+  std::set<int> involved_set;
+  if (inst.allow_buffer_moves) {
+    for (const AlignmentEntry& e : inst.entries) {
+      if (e.src_buf >= 0) involved_set.insert(e.src_buf);
+      if (e.dst_buf >= 0) involved_set.insert(e.dst_buf);
+    }
+  }
+  const std::vector<int> involved(involved_set.begin(), involved_set.end());
+
+  // Entries / hold bounds touching each movable buffer, precomputed once.
+  // In a legal batch a buffer touches at most two entries (its FF appears
+  // once as source and once as sink), which is what makes the prefix-sum
+  // scan below cheap. Moving buffer b cannot change the state of hold
+  // bounds that do not reference b, so only those are rechecked per step.
+  std::vector<std::vector<std::size_t>> dyn_of(involved.size());
+  std::vector<std::vector<std::size_t>> hold_of(involved.size());
+  for (std::size_t v = 0; v < involved.size(); ++v) {
+    const int b = involved[v];
+    for (std::size_t i = 0; i < inst.entries.size(); ++i) {
+      if (inst.entries[i].src_buf == b || inst.entries[i].dst_buf == b) {
+        dyn_of[v].push_back(i);
+      }
+    }
+    for (std::size_t h = 0; h < inst.hold.size(); ++h) {
+      if (inst.hold[h].src_buf == b || inst.hold[h].dst_buf == b) {
+        hold_of[v].push_back(h);
+      }
+    }
+  }
+  const auto hold_ok_for = [&](std::span<const std::size_t> idx,
+                               std::span<const int> steps) {
+    for (std::size_t h : idx) {
+      const HoldConstraintX& hc = inst.hold[h];
+      const double skew = x_of(problem, steps, hc.src_buf) -
+                          x_of(problem, steps, hc.dst_buf);
+      if (skew < hc.lambda - 1e-9) return false;
+    }
+    return true;
+  };
+
+  const auto shifted = [&](const AlignmentEntry& e, std::span<const int> steps) {
+    return e.center + x_of(problem, steps, e.src_buf) -
+           x_of(problem, steps, e.dst_buf);
+  };
+
+  // Best (T, objective) for the point multiset (static via prefix sums,
+  // dynamic explicit). The L1 optimum sits on one of the points; candidates
+  // are the dynamic points plus the static mass-crossings for every possible
+  // split of the dynamic weight.
+  const auto best_period = [&](const StaticPoints& stat,
+                               std::span<const std::pair<double, double>> dyn) {
+    double dyn_w = 0.0;
+    for (const auto& [m, w] : dyn) dyn_w += w;
+    const double half = 0.5 * (stat.total_weight() + dyn_w);
+    std::vector<double> candidates;
+    for (const auto& [m, w] : dyn) candidates.push_back(m);
+    if (!stat.empty()) {
+      double left_dyn = 0.0;
+      candidates.push_back(stat.point_at_mass(half));
+      for (const auto& [m, w] : dyn) {
+        left_dyn += w;
+        candidates.push_back(stat.point_at_mass(half - left_dyn));
+      }
+    }
+    double best_t = candidates.empty() ? 0.0 : candidates.front();
+    double best_obj = std::numeric_limits<double>::infinity();
+    for (double t : candidates) {
+      double obj = stat.objective(t);
+      for (const auto& [m, w] : dyn) obj += w * std::abs(t - m);
+      if (obj < best_obj) {
+        best_obj = obj;
+        best_t = t;
+      }
+    }
+    return std::make_pair(best_t, best_obj);
+  };
+
+  {
+    // Initial (T, objective) with everything static.
+    StaticPoints all;
+    std::vector<std::pair<double, double>> pts;
+    pts.reserve(inst.entries.size());
+    for (const AlignmentEntry& e : inst.entries) {
+      pts.emplace_back(shifted(e, out.steps), e.weight);
+    }
+    all.build(std::move(pts));
+    const auto [t, obj] = best_period(all, {});
+    out.period = t;
+    out.objective = obj;
+  }
+  double best = out.objective;
+
+  for (int round = 0; round < 32; ++round) {
+    bool changed = false;
+    for (std::size_t v = 0; v < involved.size(); ++v) {
+      const int b = involved[v];
+      const auto bi = static_cast<std::size_t>(b);
+      const TunableBuffer& buf = problem.buffers()[bi];
+      const std::vector<std::size_t>& dyn_idx = dyn_of[v];
+
+      // Static part: every entry not touching b, at the current steps.
+      StaticPoints stat;
+      {
+        std::vector<std::pair<double, double>> pts;
+        pts.reserve(inst.entries.size());
+        for (std::size_t i = 0; i < inst.entries.size(); ++i) {
+          if (std::find(dyn_idx.begin(), dyn_idx.end(), i) != dyn_idx.end()) {
+            continue;
+          }
+          pts.emplace_back(shifted(inst.entries[i], out.steps),
+                           inst.entries[i].weight);
+        }
+        stat.build(std::move(pts));
+      }
+
+      const int saved = out.steps[bi];
+      int best_step = saved;
+      double best_t = out.period;
+      std::vector<std::pair<double, double>> dyn(dyn_idx.size());
+      for (int k = 0; k < buf.steps; ++k) {
+        if (k == saved) continue;
+        out.steps[bi] = k;
+        if (!hold_ok_for(hold_of[v], out.steps)) continue;
+        for (std::size_t d = 0; d < dyn_idx.size(); ++d) {
+          dyn[d] = {shifted(inst.entries[dyn_idx[d]], out.steps),
+                    inst.entries[dyn_idx[d]].weight};
+        }
+        const auto [t, obj] = best_period(stat, dyn);
+        if (obj < best - 1e-12) {
+          best = obj;
+          best_step = k;
+          best_t = t;
+        }
+      }
+      out.steps[bi] = best_step;
+      if (best_step != saved) {
+        out.period = best_t;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  out.objective = best;
+  out.feasible = hold_ok(inst, out.steps);
+  return out;
+}
+
+/// Shared MILP scaffolding: builds variables T and s_b, returns via the
+/// callback the linear expression terms of (T - shifted_center_p) for each
+/// entry, then solves and extracts the assignment.
+AlignmentResult solve_milp(const AlignmentInstance& inst, bool big_m,
+                           const lp::SolveOptions& options) {
+  const Problem& problem = *inst.problem;
+  lp::Model model;
+
+  // Clock period variable. Delay centers are positive in practice; give T a
+  // generous box so the LP relaxation stays bounded.
+  double center_span = 1.0;
+  for (const AlignmentEntry& e : inst.entries) {
+    center_span = std::max(center_span, std::abs(e.center));
+  }
+  double tau_max = 0.0;
+  for (const auto& b : problem.buffers()) tau_max = std::max(tau_max, b.tau);
+  const double t_hi = 2.0 * center_span + 2.0 * tau_max + 1.0;
+  const int var_t = model.add_continuous(-t_hi, t_hi, 0.0, "T");
+
+  // Step variables for involved buffers; frozen buffers contribute constants.
+  std::set<int> involved_set;
+  if (inst.allow_buffer_moves) {
+    for (const AlignmentEntry& e : inst.entries) {
+      if (e.src_buf >= 0) involved_set.insert(e.src_buf);
+      if (e.dst_buf >= 0) involved_set.insert(e.dst_buf);
+    }
+  }
+  std::vector<int> step_var(problem.num_buffers(), -1);
+  for (int b : involved_set) {
+    const auto& buf = problem.buffers()[static_cast<std::size_t>(b)];
+    step_var[static_cast<std::size_t>(b)] = model.add_integer(
+        0.0, static_cast<double>(buf.steps - 1), 0.0, "s" + std::to_string(b));
+  }
+
+  // x_b as (constant, optional step term).
+  const auto x_terms = [&](int buf, double sign, std::vector<lp::Term>& terms,
+                           double& constant) {
+    if (buf < 0) return;
+    const auto bi = static_cast<std::size_t>(buf);
+    const auto& bspec = problem.buffers()[bi];
+    if (step_var[bi] >= 0) {
+      constant += sign * bspec.r;
+      terms.push_back({step_var[bi], sign * bspec.step_size()});
+    } else {
+      constant += sign * bspec.value(inst.current_steps[bi]);
+    }
+  };
+
+  const double big = 4.0 * (center_span + tau_max + 1.0);
+  std::vector<int> eta_vars;
+  eta_vars.reserve(inst.entries.size());
+  for (std::size_t p = 0; p < inst.entries.size(); ++p) {
+    const AlignmentEntry& e = inst.entries[p];
+    const int eta =
+        model.add_continuous(0.0, lp::kInf, e.weight, "eta" + std::to_string(p));
+    eta_vars.push_back(eta);
+
+    // diff_p = T - (center + x_src - x_dst): expressed as terms + constant.
+    std::vector<lp::Term> diff{{var_t, 1.0}};
+    double constant = -e.center;
+    x_terms(e.src_buf, -1.0, diff, constant);
+    x_terms(e.dst_buf, +1.0, diff, constant);
+    // `diff` terms + constant == diff_p.
+
+    if (!big_m) {
+      // Compact exact form: eta >= diff, eta >= -diff.
+      std::vector<lp::Term> c1 = diff;
+      c1.push_back({eta, -1.0});
+      model.add_constraint(std::move(c1), lp::Sense::kLessEqual, -constant);
+      std::vector<lp::Term> c2;
+      for (const lp::Term& t : diff) c2.push_back({t.var, -t.coeff});
+      c2.push_back({eta, -1.0});
+      model.add_constraint(std::move(c2), lp::Sense::kLessEqual, constant);
+    } else {
+      // Paper's eqs. (8)-(13) with indicator binaries z^p, z^n.
+      const int zp = model.add_binary(0.0, "zp" + std::to_string(p));
+      const int zn = model.add_binary(0.0, "zn" + std::to_string(p));
+      // (8):  diff <= M zp
+      {
+        std::vector<lp::Term> c = diff;
+        c.push_back({zp, -big});
+        model.add_constraint(std::move(c), lp::Sense::kLessEqual, -constant);
+      }
+      // (9):  diff - eta <= M (1 - zp)
+      {
+        std::vector<lp::Term> c = diff;
+        c.push_back({eta, -1.0});
+        c.push_back({zp, big});
+        model.add_constraint(std::move(c), lp::Sense::kLessEqual,
+                             -constant + big);
+      }
+      // (10): -diff + eta <= M (1 - zp)
+      {
+        std::vector<lp::Term> c;
+        for (const lp::Term& t : diff) c.push_back({t.var, -t.coeff});
+        c.push_back({eta, 1.0});
+        c.push_back({zp, big});
+        model.add_constraint(std::move(c), lp::Sense::kLessEqual,
+                             constant + big);
+      }
+      // (11): -diff <= M zn
+      {
+        std::vector<lp::Term> c;
+        for (const lp::Term& t : diff) c.push_back({t.var, -t.coeff});
+        c.push_back({zn, -big});
+        model.add_constraint(std::move(c), lp::Sense::kLessEqual, constant);
+      }
+      // (12): -diff - eta <= M (1 - zn)
+      {
+        std::vector<lp::Term> c;
+        for (const lp::Term& t : diff) c.push_back({t.var, -t.coeff});
+        c.push_back({eta, -1.0});
+        c.push_back({zn, big});
+        model.add_constraint(std::move(c), lp::Sense::kLessEqual,
+                             constant + big);
+      }
+      // (13): diff + eta <= M (1 - zn)
+      {
+        std::vector<lp::Term> c = diff;
+        c.push_back({eta, 1.0});
+        c.push_back({zn, big});
+        model.add_constraint(std::move(c), lp::Sense::kLessEqual,
+                             -constant + big);
+      }
+    }
+  }
+
+  // Hold bounds (eq. 21): x_i - x_j >= lambda.
+  for (const HoldConstraintX& h : inst.hold) {
+    std::vector<lp::Term> terms;
+    double constant = 0.0;
+    x_terms(h.src_buf, +1.0, terms, constant);
+    x_terms(h.dst_buf, -1.0, terms, constant);
+    model.add_constraint(std::move(terms), lp::Sense::kGreaterEqual,
+                         h.lambda - constant);
+  }
+
+  const lp::Solution sol = lp::solve(model, options);
+  AlignmentResult out;
+  out.steps = inst.current_steps;
+  if (!sol.feasible()) {
+    out.feasible = false;
+    // Fall back to the current state with a median period.
+    out.period = inst.entries.empty() ? 0.0 : inst.entries.front().center;
+    out.objective = objective_of(inst, out.period, out.steps);
+    return out;
+  }
+  out.period = sol.values[static_cast<std::size_t>(var_t)];
+  for (int b : involved_set) {
+    const auto bi = static_cast<std::size_t>(b);
+    out.steps[bi] = static_cast<int>(
+        std::lround(sol.values[static_cast<std::size_t>(step_var[bi])]));
+  }
+  out.objective = objective_of(inst, out.period, out.steps);
+  out.feasible = hold_ok(inst, out.steps);
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> middle_out_weights(std::span<const double> centers,
+                                       double k0, double kd) {
+  const std::size_t n = centers.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return centers[a] < centers[b];
+  });
+  std::vector<double> weights(n, kd);
+  const double mid = (static_cast<double>(n) - 1.0) / 2.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const double dist = std::abs(static_cast<double>(rank) - mid);
+    weights[order[rank]] = std::max(k0 - kd * dist, kd);
+  }
+  return weights;
+}
+
+AlignmentResult solve_alignment(const AlignmentInstance& instance,
+                                AlignMethod method,
+                                const lp::SolveOptions& lp_options) {
+  if (instance.problem == nullptr) {
+    throw std::invalid_argument("solve_alignment: missing problem");
+  }
+  if (instance.entries.empty()) {
+    AlignmentResult out;
+    out.steps = instance.current_steps;
+    return out;
+  }
+  if (instance.current_steps.size() != instance.problem->num_buffers()) {
+    throw std::invalid_argument("solve_alignment: bad current_steps size");
+  }
+  switch (method) {
+    case AlignMethod::kCoordinateDescent:
+      return solve_coordinate_descent(instance);
+    case AlignMethod::kMilpCompact:
+      return solve_milp(instance, /*big_m=*/false, lp_options);
+    case AlignMethod::kMilpBigM:
+      return solve_milp(instance, /*big_m=*/true, lp_options);
+  }
+  throw std::logic_error("solve_alignment: unknown method");
+}
+
+}  // namespace effitest::core

@@ -1,0 +1,85 @@
+#pragma once
+// Delay-range alignment by tuning buffers (paper §3.3, eqs. 6-14).
+//
+// Before each frequency step, the tester chooses a clock period T and a set
+// of buffer values so that T sits as close as possible to the centers of the
+// unresolved delay ranges, shifted by x_src - x_dst:
+//
+//   minimize sum_ij k_ij * | T - ((u_ij + l_ij)/2 + x_i - x_j) |     (eq. 7)
+//
+// subject to the buffer range/step constraints (eq. 14 / eq. 3) and the
+// hold-time lower bounds x_i - x_j >= lambda_ij (§3.5, eq. 21).
+//
+// Three interchangeable solvers:
+//  * kMilpCompact  — the absolute values linearized as eta >= +/-(...), exact;
+//  * kMilpBigM     — the paper's literal indicator-variable formulation
+//                    (eqs. 8-13), exact; kept for fidelity and as an oracle
+//                    in tests (both MILPs must agree);
+//  * kCoordinateDescent — weighted-median updates of T interleaved with
+//                    per-buffer discrete line search; orders of magnitude
+//                    faster, used inside the Monte-Carlo loop. An ablation
+//                    bench quantifies its optimality gap.
+//
+// Weights follow the paper: sort the range centers, give the middle one k0
+// and decrease by kd per rank outward (k0 >> kd), which breaks the
+// degenerate non-overlapping case of Fig. 6e.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "lp/solver.hpp"
+
+namespace effitest::core {
+
+/// One unresolved path range inside the batch being aligned.
+struct AlignmentEntry {
+  double center = 0.0;  ///< (u_ij + l_ij) / 2 of the current range
+  double weight = 1.0;  ///< k_ij
+  int src_buf = -1;     ///< global buffer index at the source (-1: x == 0)
+  int dst_buf = -1;     ///< global buffer index at the sink   (-1: x == 0)
+};
+
+/// Hold-time bound x_i - x_j >= lambda (buffer indices; -1 side is fixed 0).
+struct HoldConstraintX {
+  int src_buf = -1;
+  int dst_buf = -1;
+  double lambda = 0.0;
+};
+
+struct AlignmentInstance {
+  const Problem* problem = nullptr;
+  std::vector<AlignmentEntry> entries;
+  std::vector<HoldConstraintX> hold;
+  /// Current step assignment of ALL buffers; buffers not referenced by any
+  /// entry stay frozen at these values (their x still enters hold bounds).
+  std::vector<int> current_steps;
+  /// When false the buffers are left untouched (multiplexing-only mode,
+  /// Fig. 8 case 2): only T is optimized.
+  bool allow_buffer_moves = true;
+};
+
+struct AlignmentResult {
+  double period = 0.0;         ///< chosen clock period T
+  std::vector<int> steps;      ///< full buffer step assignment to program
+  double objective = 0.0;      ///< achieved eq.-7 objective
+  bool feasible = true;        ///< hold bounds satisfiable
+};
+
+enum class AlignMethod : std::uint8_t {
+  kCoordinateDescent,
+  kMilpCompact,
+  kMilpBigM,
+};
+
+/// Middle-out weight assignment over range centers (k0 to the median center,
+/// decreasing by kd per rank outward; floored at kd).
+[[nodiscard]] std::vector<double> middle_out_weights(
+    std::span<const double> centers, double k0, double kd);
+
+[[nodiscard]] AlignmentResult solve_alignment(
+    const AlignmentInstance& instance, AlignMethod method,
+    const lp::SolveOptions& lp_options = {});
+
+}  // namespace effitest::core

@@ -1,0 +1,303 @@
+#include "core/flow.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "stats/distributions.hpp"
+
+namespace effitest::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+double calibrated_epsilon(const Problem& problem) {
+  std::vector<double> sigmas = problem.model().max_sigmas();
+  if (sigmas.empty()) return 0.5;
+  const double med = stats::quantile(std::move(sigmas), 0.5);
+  // Path-wise bisection of a 6-sigma range then takes ceil(log2(6s/eps))
+  // ~ 8.5 iterations, the regime of Table 1's t'v column.
+  return 6.0 * med / std::pow(2.0, 8.5);
+}
+
+FlowArtifacts prepare_flow(const Problem& problem, const FlowOptions& options,
+                           stats::Rng& rng) {
+  const timing::CircuitModel& model = problem.model();
+  const std::size_t np = model.num_pairs();
+  FlowArtifacts art;
+
+  const std::vector<double> means = model.max_means();
+  const std::vector<double> sigmas = model.max_sigmas();
+  art.prior_lower.resize(np);
+  art.prior_upper.resize(np);
+  for (std::size_t p = 0; p < np; ++p) {
+    art.prior_lower[p] = means[p] - 3.0 * sigmas[p];
+    art.prior_upper[p] = means[p] + 3.0 * sigmas[p];
+  }
+
+  // Batch composition matters enormously for alignment: when co-batched
+  // paths are highly correlated, their pass/fail outcomes track each other
+  // for many consecutive bisections, so one clock period keeps cutting ALL
+  // of their ranges. Paths are therefore handed to the (order-respecting,
+  // greedy first-fit) batch builder grouped by correlation cluster, sorted
+  // by mean within a cluster.
+  BatchingOptions batching = options.batching;
+  batching.optimal_coloring = false;  // first-fit preserves cluster adjacency
+  const auto cluster_major = [&](const std::vector<std::vector<std::size_t>>&
+                                     clusters) {
+    std::vector<std::size_t> out;
+    for (const auto& cl : clusters) {
+      std::vector<std::size_t> sorted = cl;
+      std::stable_sort(sorted.begin(), sorted.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return means[a] < means[b];
+                       });
+      out.insert(out.end(), sorted.begin(), sorted.end());
+    }
+    return out;
+  };
+
+  if (options.use_prediction) {
+    const linalg::Matrix cov = model.max_covariance();
+    art.selection = select_paths(cov, options.grouping);
+    art.tested = art.selection.tested;
+    std::vector<std::vector<std::size_t>> tested_by_group;
+    for (const PathGroup& g : art.selection.groups) {
+      tested_by_group.push_back(g.selected);
+    }
+    art.batches =
+        build_batches(problem, cluster_major(tested_by_group), batching);
+
+    if (options.fill_slots && art.tested.size() < np) {
+      // Rank untested paths by posterior sigma (eq. 5 — measurement
+      // independent) and pour the worst-predicted ones into empty slots.
+      const DelayPredictor coarse(cov, means, art.tested);
+      const auto& predicted = coarse.predicted_indices();
+      const auto& psigma = coarse.posterior_sigma();
+      std::vector<std::size_t> order(predicted.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return psigma[a] > psigma[b];
+      });
+      std::vector<std::size_t> candidates;
+      candidates.reserve(order.size());
+      for (std::size_t k : order) candidates.push_back(predicted[k]);
+      const std::vector<std::size_t> inserted = fill_empty_slots(
+          problem, art.batches, candidates, batching, means);
+      art.tested.insert(art.tested.end(), inserted.begin(), inserted.end());
+      std::sort(art.tested.begin(), art.tested.end());
+    }
+    if (art.tested.size() < np) {
+      art.predictor.emplace(cov, means, art.tested);
+    }
+  } else {
+    // No statistical prediction (Fig. 8 modes): every path is tested, but
+    // batches are still composed correlation-cluster-major.
+    art.tested.resize(np);
+    std::iota(art.tested.begin(), art.tested.end(), std::size_t{0});
+    const linalg::Matrix cov = model.max_covariance();
+    art.batches = build_batches(
+        problem, cluster_major(correlation_clusters(cov, options.grouping)),
+        batching);
+  }
+
+  art.hold = compute_hold_bounds(problem, rng, options.hold);
+  return art;
+}
+
+FlowResult run_flow(const Problem& problem, const FlowOptions& options,
+                    const FlowArtifacts* reuse) {
+  FlowResult out;
+  FlowMetrics& m = out.metrics;
+  const timing::CircuitModel& model = problem.model();
+
+  stats::Rng rng(options.seed);
+
+  // --- Designated period. ----------------------------------------------------
+  double td = options.designated_period;
+  if (td <= 0.0) {
+    stats::Rng cal_rng = rng.fork();
+    td = period_quantile(problem, 0.5, options.period_calibration_chips,
+                         cal_rng);
+  }
+  m.designated_period = td;
+
+  // --- Offline preparation (Tp). ---------------------------------------------
+  FlowOptions opts = options;
+  if (opts.epsilon_override > 0.0) {
+    opts.test.epsilon_ps = opts.epsilon_override;
+  } else {
+    opts.test.epsilon_ps = calibrated_epsilon(problem);
+  }
+  m.epsilon_ps = opts.test.epsilon_ps;
+
+  const auto tp0 = Clock::now();
+  stats::Rng hold_rng = rng.fork();
+  if (reuse != nullptr) {
+    out.artifacts = *reuse;
+  } else {
+    out.artifacts = prepare_flow(problem, opts, hold_rng);
+  }
+  m.tp_seconds = seconds_since(tp0);
+  FlowArtifacts& art = out.artifacts;
+
+  // --- Static counts (ns/ng are netlist facts; benches fill them in). ---------
+  m.np = model.num_pairs();
+  m.npt = art.tested.size();
+  m.nb = problem.num_buffers();
+  m.num_groups = art.selection.groups.size();
+  m.num_batches = art.batches.size();
+  m.num_selected = art.selection.tested.size();
+
+  // Path-wise baseline iterations are deterministic: bisection of the prior
+  // 6-sigma range down to epsilon for each of the np paths.
+  std::size_t pathwise_total = 0;
+  for (std::size_t p = 0; p < m.np; ++p) {
+    pathwise_total += pathwise_iterations(
+        art.prior_lower[p], art.prior_upper[p], opts.test.epsilon_ps);
+  }
+  m.ta_pathwise = static_cast<double>(pathwise_total);
+  m.tv_pathwise = m.np > 0 ? m.ta_pathwise / static_cast<double>(m.np) : 0.0;
+
+  // --- Monte-Carlo tester loop (parallel; chip c draws from its own
+  //     seed-derived stream so any thread count gives identical results). ----
+  struct Tally {
+    std::size_t iter_sum = 0;
+    std::size_t forced = 0;
+    std::size_t infeasible = 0;
+    std::size_t pass_proposed = 0;
+    std::size_t pass_ideal = 0;
+    std::size_t pass_untuned = 0;
+    double tt_sum = 0.0;
+    double ts_sum = 0.0;
+  };
+  const std::uint64_t chip_seed_base = rng.fork().engine()();
+
+  const auto process_chip = [&](std::size_t c, Tally& tally) {
+    stats::Rng chip_rng(chip_seed_base ^ (0x9e3779b97f4a7c15ULL * (c + 1)));
+    const timing::Chip chip = model.sample_chip(chip_rng);
+
+    TestRunResult test = run_delay_test(problem, chip, art.batches,
+                                        art.prior_lower, art.prior_upper,
+                                        art.hold, opts.test);
+    tally.iter_sum += test.iterations;
+    tally.forced += test.forced;
+    tally.tt_sum += test.align_seconds;
+
+    // Delay ranges for configuration: measured where tested, predicted
+    // elsewhere (conditioned on the measured upper bounds, §3.4).
+    const auto ts0 = Clock::now();
+    std::span<const double> cfg_lower;
+    std::span<const double> cfg_upper;
+    DelayBounds predicted;
+    if (art.predictor) {
+      std::vector<double> meas_lower(art.tested.size());
+      std::vector<double> meas_upper(art.tested.size());
+      for (std::size_t t = 0; t < art.tested.size(); ++t) {
+        meas_lower[t] = test.lower[art.tested[t]];
+        meas_upper[t] = test.upper[art.tested[t]];
+      }
+      predicted = art.predictor->predict(meas_lower, meas_upper);
+      cfg_lower = predicted.lower;
+      cfg_upper = predicted.upper;
+    } else {
+      cfg_lower = test.lower;
+      cfg_upper = test.upper;
+    }
+
+    const ConfigResult cfg = configure_buffers(problem, td, cfg_lower,
+                                               cfg_upper, art.hold,
+                                               opts.config);
+    tally.ts_sum += seconds_since(ts0);
+
+    if (!cfg.feasible) ++tally.infeasible;
+    if (options.evaluate_yield) {
+      if (cfg.feasible &&
+          chip_passes(problem, chip, buffer_values(problem, cfg.steps), td)) {
+        ++tally.pass_proposed;
+      }
+      const ConfigResult ideal = configure_ideal(problem, td, chip, opts.config);
+      if (ideal.feasible &&
+          chip_passes(problem, chip, buffer_values(problem, ideal.steps), td)) {
+        ++tally.pass_ideal;
+      }
+      if (chip_passes_untuned(problem, chip, td)) ++tally.pass_untuned;
+    }
+  };
+
+  std::size_t n_threads = options.threads;
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  n_threads = std::min(n_threads, std::max<std::size_t>(options.chips, 1));
+
+  std::vector<Tally> tallies(n_threads);
+  if (n_threads <= 1) {
+    for (std::size_t c = 0; c < options.chips; ++c) {
+      process_chip(c, tallies[0]);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) {
+      workers.emplace_back([&, t] {
+        while (true) {
+          const std::size_t c = next.fetch_add(1);
+          if (c >= options.chips) break;
+          process_chip(c, tallies[t]);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  Tally total;
+  for (const Tally& t : tallies) {
+    total.iter_sum += t.iter_sum;
+    total.forced += t.forced;
+    total.infeasible += t.infeasible;
+    total.pass_proposed += t.pass_proposed;
+    total.pass_ideal += t.pass_ideal;
+    total.pass_untuned += t.pass_untuned;
+    total.tt_sum += t.tt_sum;
+    total.ts_sum += t.ts_sum;
+  }
+  const std::size_t iter_sum = total.iter_sum;
+  m.forced_resolutions = total.forced;
+  m.infeasible_configs = total.infeasible;
+  const std::size_t pass_proposed = total.pass_proposed;
+  const std::size_t pass_ideal = total.pass_ideal;
+  const std::size_t pass_untuned = total.pass_untuned;
+  const double tt_sum = total.tt_sum;
+  const double ts_sum = total.ts_sum;
+
+  const auto n = static_cast<double>(options.chips);
+  m.ta = static_cast<double>(iter_sum) / n;
+  m.tv = m.npt > 0 ? m.ta / static_cast<double>(m.npt) : 0.0;
+  m.ra = m.ta_pathwise > 0.0 ? (m.ta_pathwise - m.ta) / m.ta_pathwise * 100.0
+                             : 0.0;
+  m.rv = m.tv_pathwise > 0.0 ? (m.tv_pathwise - m.tv) / m.tv_pathwise * 100.0
+                             : 0.0;
+  m.tt_seconds_per_chip = tt_sum / n;
+  m.ts_seconds_per_chip = ts_sum / n;
+  if (options.evaluate_yield) {
+    m.yield_no_buffer = static_cast<double>(pass_untuned) / n;
+    m.yield_ideal = static_cast<double>(pass_ideal) / n;
+    m.yield_proposed = static_cast<double>(pass_proposed) / n;
+    m.yield_drop = m.yield_ideal - m.yield_proposed;
+  }
+  return out;
+}
+
+}  // namespace effitest::core

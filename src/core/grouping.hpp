@@ -1,0 +1,61 @@
+#pragma once
+// Procedure 1 of the paper: correlation-threshold path grouping and
+// PCA-based representative path selection.
+//
+// Paths are pulled into groups at a descending correlation threshold
+// (0.95, 0.90, ...). Within each group the delay covariance is decomposed by
+// PCA; only the significant principal components carry shared information,
+// so |PC_i| representative paths are selected per group — the path with the
+// largest loading per component (ref. [14]). Everything else is later
+// estimated by conditional prediction instead of being tested.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace effitest::core {
+
+struct GroupingOptions {
+  double corr_start = 0.95;   ///< initial correlation threshold
+  double corr_step = 0.05;    ///< per-round threshold decrease
+  /// |PC_i| rule. Kaiser (default): components above `kaiser_scale` times
+  /// the average eigenvalue — stable under group size and independent-
+  /// variance inflation (Fig. 7). Coverage: smallest count explaining
+  /// `pca_coverage` of the variance — grows with group size once coverage
+  /// exceeds the intra-group correlation.
+  bool use_kaiser = true;
+  double kaiser_scale = 1.0;
+  double pca_coverage = 0.98;
+  /// Groups larger than this are PCA-decomposed on a deterministic member
+  /// subsample (Jacobi is O(n^3); the PC count and the representative
+  /// choice of an equicorrelated block are insensitive to subsampling).
+  std::size_t pca_max_block = 320;
+};
+
+struct PathGroup {
+  std::vector<std::size_t> members;   ///< global path indices
+  std::vector<std::size_t> selected;  ///< representative paths (subset)
+  std::size_t num_components = 0;     ///< |PC_i|
+  double threshold = 0.0;             ///< correlation threshold of the round
+};
+
+struct SelectionResult {
+  std::vector<PathGroup> groups;
+  /// Sorted union of all selected (to-be-tested) path indices.
+  std::vector<std::size_t> tested;
+};
+
+/// Run Procedure 1 on a path-delay covariance matrix.
+[[nodiscard]] SelectionResult select_paths(const linalg::Matrix& covariance,
+                                           const GroupingOptions& options = {});
+
+/// The seed-extraction rounds of Procedure 1 *without* the PCA/selection
+/// step: partition all paths into correlation clusters at the descending
+/// threshold schedule. Used to order paths for batch building — co-batching
+/// highly correlated paths lets one clock period bisect all of them for many
+/// consecutive iterations (their pass/fail outcomes track each other).
+[[nodiscard]] std::vector<std::vector<std::size_t>> correlation_clusters(
+    const linalg::Matrix& covariance, const GroupingOptions& options = {});
+
+}  // namespace effitest::core

@@ -1,0 +1,193 @@
+#include "core/hold_bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace effitest::core {
+
+namespace {
+
+/// Max and runner-up margin over the kept samples of one pair.
+struct TopTwo {
+  double max = -std::numeric_limits<double>::infinity();
+  double second = -std::numeric_limits<double>::infinity();
+  void offer(double v) {
+    if (v > max) {
+      second = max;
+      max = v;
+    } else if (v > second) {
+      second = v;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<double> greedy_discard_bounds(
+    const std::vector<std::vector<double>>& delta, double yield) {
+  const std::size_t m = delta.size();
+  if (m == 0) return {};
+  const std::size_t n_pairs = delta.front().size();
+  for (const auto& row : delta) {
+    if (row.size() != n_pairs) {
+      throw std::invalid_argument("greedy_discard_bounds: ragged samples");
+    }
+  }
+  const auto keep = static_cast<std::size_t>(
+      std::ceil(yield * static_cast<double>(m)));
+  std::size_t to_drop = m > keep ? m - keep : 0;
+
+  std::vector<bool> dropped(m, false);
+  while (to_drop > 0) {
+    // Current top-two margins per pair over kept samples.
+    std::vector<TopTwo> tops(n_pairs);
+    for (std::size_t k = 0; k < m; ++k) {
+      if (dropped[k]) continue;
+      for (std::size_t p = 0; p < n_pairs; ++p) tops[p].offer(delta[k][p]);
+    }
+    // Benefit of dropping sample k: sum over pairs where k defines the max.
+    double best_benefit = -1.0;
+    std::size_t best_k = m;
+    for (std::size_t k = 0; k < m; ++k) {
+      if (dropped[k]) continue;
+      double benefit = 0.0;
+      for (std::size_t p = 0; p < n_pairs; ++p) {
+        if (delta[k][p] >= tops[p].max - 1e-15) {
+          benefit += tops[p].max - tops[p].second;
+        }
+      }
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        best_k = k;
+      }
+    }
+    if (best_k == m) break;
+    dropped[best_k] = true;
+    --to_drop;
+  }
+
+  std::vector<double> lambda(n_pairs,
+                             -std::numeric_limits<double>::infinity());
+  for (std::size_t k = 0; k < m; ++k) {
+    if (dropped[k]) continue;
+    for (std::size_t p = 0; p < n_pairs; ++p) {
+      lambda[p] = std::max(lambda[p], delta[k][p]);
+    }
+  }
+  return lambda;
+}
+
+std::vector<double> exact_milp_bounds(
+    const std::vector<std::vector<double>>& delta, double yield,
+    const lp::SolveOptions& options) {
+  const std::size_t m = delta.size();
+  if (m == 0) return {};
+  const std::size_t n_pairs = delta.front().size();
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const auto& row : delta) {
+    for (double v : row) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const double big = (hi - lo) + 1.0;
+
+  lp::Model model;
+  std::vector<int> lambda_var(n_pairs);
+  for (std::size_t p = 0; p < n_pairs; ++p) {
+    lambda_var[p] =
+        model.add_continuous(lo - 1.0, hi + 1.0, 1.0, "l" + std::to_string(p));
+  }
+  std::vector<int> y_var(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    y_var[k] = model.add_binary(0.0, "y" + std::to_string(k));
+  }
+  // (19): lambda_p - delta[k][p] >= M(y_k - 1).
+  for (std::size_t k = 0; k < m; ++k) {
+    for (std::size_t p = 0; p < n_pairs; ++p) {
+      model.add_constraint({{lambda_var[p], 1.0}, {y_var[k], -big}},
+                           lp::Sense::kGreaterEqual, delta[k][p] - big);
+    }
+  }
+  // (20): sum y_k >= Y*M.
+  std::vector<lp::Term> cover;
+  for (std::size_t k = 0; k < m; ++k) cover.push_back({y_var[k], 1.0});
+  model.add_constraint(std::move(cover), lp::Sense::kGreaterEqual,
+                       std::ceil(yield * static_cast<double>(m)));
+
+  const lp::Solution sol = lp::solve(model, options);
+  if (!sol.feasible()) {
+    throw std::runtime_error("exact_milp_bounds: solver failed");
+  }
+  std::vector<double> lambda(n_pairs);
+  for (std::size_t p = 0; p < n_pairs; ++p) {
+    lambda[p] = sol.values[static_cast<std::size_t>(lambda_var[p])];
+  }
+  return lambda;
+}
+
+std::vector<HoldConstraintX> compute_hold_bounds(
+    const Problem& problem, stats::Rng& rng, const HoldBoundOptions& options) {
+  const timing::CircuitModel& model = problem.model();
+  const double h = model.hold_time();
+
+  // Pairs whose skew is adjustable (at least one buffered endpoint).
+  std::vector<std::size_t> exposed;
+  for (std::size_t p = 0; p < model.num_pairs(); ++p) {
+    if (problem.src_buffer(p) >= 0 || problem.dst_buffer(p) >= 0) {
+      exposed.push_back(p);
+    }
+  }
+  if (exposed.empty()) return {};
+
+  // Sample hold margins delta = h - d_min over M chips.
+  std::vector<std::vector<double>> delta(options.samples);
+  for (std::size_t k = 0; k < options.samples; ++k) {
+    const timing::Chip chip = model.sample_chip(rng);
+    delta[k].resize(exposed.size());
+    for (std::size_t e = 0; e < exposed.size(); ++e) {
+      delta[k][e] = h - chip.min_delay[exposed[e]];
+    }
+  }
+
+  const std::vector<double> lambda =
+      options.method == HoldBoundOptions::Method::kExactMilp
+          ? exact_milp_bounds(delta, options.yield, options.lp)
+          : greedy_discard_bounds(delta, options.yield);
+
+  // Merge per buffer combination (max lambda binds) and prune bounds that
+  // can never bind within the buffer ranges.
+  std::map<std::pair<int, int>, double> merged;
+  for (std::size_t e = 0; e < exposed.size(); ++e) {
+    const std::size_t p = exposed[e];
+    const auto key = std::make_pair(problem.src_buffer(p), problem.dst_buffer(p));
+    const auto it = merged.find(key);
+    if (it == merged.end()) {
+      merged.emplace(key, lambda[e]);
+    } else {
+      it->second = std::max(it->second, lambda[e]);
+    }
+  }
+
+  std::vector<HoldConstraintX> out;
+  for (const auto& [key, lam] : merged) {
+    const auto [i, j] = key;
+    // Minimum achievable skew x_i - x_j given the ranges.
+    double min_skew = 0.0;
+    if (i >= 0) min_skew += problem.buffers()[static_cast<std::size_t>(i)].r;
+    if (j >= 0) {
+      const auto& bj = problem.buffers()[static_cast<std::size_t>(j)];
+      min_skew -= bj.r + bj.tau;
+    }
+    if (lam <= min_skew) continue;  // never binds
+    out.push_back(HoldConstraintX{i, j, lam});
+  }
+  return out;
+}
+
+}  // namespace effitest::core

@@ -1,0 +1,58 @@
+#pragma once
+// Tuning bounds due to hold-time constraints (paper §3.5, eqs. 19-21).
+//
+// Buffers are never tested against hold violations; instead a lower bound
+// lambda_ij on x_i - x_j is derived offline so that a target yield Y (0.99)
+// of chips satisfies every short-path hold constraint
+//   x_i - x_j >= h_j - d_ij(true)
+// The hold margins h_j - d_ij are sampled M times from the statistical model;
+// the bound set { lambda_ij } must cover at least Y*M complete samples while
+// the sum of all lambda (the freedom taken from the buffers) is minimized.
+//
+// Two solvers:
+//  * kGreedyDiscard — start from full coverage (lambda = per-pair max) and
+//    greedily discard the (1-Y)*M samples whose removal shrinks sum(lambda)
+//    most. Scales to M = thousands.
+//  * kExactMilp — the paper's indicator formulation (eqs. 19-20) solved by
+//    the in-house branch & bound; practical for small M, used as the oracle
+//    in tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/alignment.hpp"
+#include "core/problem.hpp"
+#include "lp/solver.hpp"
+#include "stats/rng.hpp"
+
+namespace effitest::core {
+
+struct HoldBoundOptions {
+  double yield = 0.99;          ///< Y of eq. 20
+  std::size_t samples = 1000;   ///< M
+  enum class Method : std::uint8_t { kGreedyDiscard, kExactMilp };
+  Method method = Method::kGreedyDiscard;
+  lp::SolveOptions lp{};
+};
+
+/// Compute hold lower bounds for every monitored pair that touches at least
+/// one buffer (pairs without buffers have fixed skew 0 and cannot be
+/// constrained). Bounds are merged per (src_buf, dst_buf) combination with
+/// the max lambda, and bounds that cannot bind within the buffer ranges are
+/// pruned. The result plugs directly into the §3.3 and §3.4 optimizations.
+[[nodiscard]] std::vector<HoldConstraintX> compute_hold_bounds(
+    const Problem& problem, stats::Rng& rng,
+    const HoldBoundOptions& options = {});
+
+/// Exposed for testing: given margin samples `delta[k][pair]`, select
+/// ceil(Y*M) samples to cover and return per-pair lambda = max over covered
+/// samples. Greedy scenario-discard version.
+[[nodiscard]] std::vector<double> greedy_discard_bounds(
+    const std::vector<std::vector<double>>& delta, double yield);
+
+/// Exact MILP version of the same selection (eqs. 19-20).
+[[nodiscard]] std::vector<double> exact_milp_bounds(
+    const std::vector<std::vector<double>>& delta, double yield,
+    const lp::SolveOptions& options = {});
+
+}  // namespace effitest::core

@@ -1,0 +1,66 @@
+#pragma once
+// Path test multiplexing (paper §3.2).
+//
+// Paths measured in the same tester iteration (a *batch*) must be uniquely
+// attributable: no two paths in a batch may converge at or leave from the
+// same flip-flop. A batch is therefore a set of FF-disjoint chains/cycles —
+// within a batch every flip-flop appears at most once as a source and at
+// most once as a sink (series arrangements like p14, p46, p67 are legal).
+//
+// Minimizing the number of batches is bipartite multigraph edge coloring
+// (sources on one side, sinks on the other): by König's theorem the optimum
+// equals the maximum per-FF multiplicity. We implement the optimal coloring
+// (alternating-path recoloring) plus a greedy fallback that also honours
+// mutual-exclusion constraints (paths that logic masking prevents from being
+// sensitized together).
+//
+// After batch formation, unoccupied slots are filled with not-yet-tested
+// paths of largest predicted variance so their delays get measured for free
+// (the posterior variance of eq. 5 is measurement-independent).
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace effitest::core {
+
+struct Batch {
+  std::vector<std::size_t> paths;  ///< monitored-pair indices
+};
+
+struct BatchingOptions {
+  bool optimal_coloring = true;
+  /// Pairs of paths that must not share a batch (logic masking, §3.2).
+  std::vector<std::pair<std::size_t, std::size_t>> exclusions;
+};
+
+/// Arrange `paths` (monitored-pair indices) into conflict-free batches.
+/// With exclusions present the greedy algorithm is used regardless of
+/// `optimal_coloring`.
+[[nodiscard]] std::vector<Batch> build_batches(
+    const Problem& problem, std::span<const std::size_t> paths,
+    const BatchingOptions& options = {});
+
+/// Smallest legal batch count (max per-FF source/sink multiplicity) —
+/// the optimal coloring achieves exactly this when no exclusions exist.
+[[nodiscard]] std::size_t batch_lower_bound(const Problem& problem,
+                                            std::span<const std::size_t> paths);
+
+/// Check batch legality (conflict rule + exclusions).
+[[nodiscard]] bool batch_is_legal(const Problem& problem, const Batch& batch,
+                                  const BatchingOptions& options = {});
+
+/// Fill unoccupied slots: every batch smaller than the largest one is topped
+/// up with paths from `candidates` (ordered by decreasing priority) that do
+/// not conflict. Each candidate is inserted at most once. When `centers` is
+/// non-empty (indexed by monitored-pair id) the batch whose mean delay range
+/// center is nearest to the candidate's is preferred — co-centered ranges
+/// are what alignment exploits. Returns the inserted path indices.
+[[nodiscard]] std::vector<std::size_t> fill_empty_slots(
+    const Problem& problem, std::vector<Batch>& batches,
+    std::span<const std::size_t> candidates,
+    const BatchingOptions& options = {}, std::span<const double> centers = {});
+
+}  // namespace effitest::core

@@ -1,0 +1,56 @@
+#pragma once
+// Statistical delay prediction for untested paths (paper §3.1, §3.4).
+//
+// After frequency stepping measures the tested subset D_t, every untested
+// delay d_k is estimated by the conditional Gaussian formulas (eqs. 4-5).
+// Following §3.4, the *upper bounds* of the measured ranges feed eq. 4 so
+// the estimates are conservative, and the resulting range for an estimated
+// delay is mu'_k +/- 3 sigma'_k.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "stats/conditional.hpp"
+
+namespace effitest::core {
+
+/// Lower/upper delay bounds per path (global path indexing).
+struct DelayBounds {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+class DelayPredictor {
+ public:
+  /// `covariance` and `means` cover all paths; `tested` lists the measured
+  /// path indices (ascending). The conditional gains are precomputed here —
+  /// they are chip-independent (this is why the per-chip estimation cost,
+  /// column Ts of Table 1, is negligible).
+  DelayPredictor(const linalg::Matrix& covariance, std::vector<double> means,
+                 std::vector<std::size_t> tested);
+
+  [[nodiscard]] const std::vector<std::size_t>& tested_indices() const;
+  [[nodiscard]] const std::vector<std::size_t>& predicted_indices() const;
+
+  /// Posterior sigma of each *predicted* path (ordered as
+  /// predicted_indices()); does not depend on measurements (eq. 5).
+  [[nodiscard]] const std::vector<double>& posterior_sigma() const;
+
+  /// Fill bounds for every path: tested paths keep their measured bounds;
+  /// predicted paths get mu'_k +/- 3 sigma'_k with mu'_k computed from the
+  /// measured *upper* bounds (conservative, §3.4).
+  /// `measured` is indexed like tested_indices().
+  [[nodiscard]] DelayBounds predict(
+      std::span<const double> measured_lower,
+      std::span<const double> measured_upper) const;
+
+ private:
+  std::vector<double> means_;
+  std::vector<std::size_t> tested_;
+  stats::ConditionalGaussian conditional_;
+  std::size_t num_paths_ = 0;
+};
+
+}  // namespace effitest::core

@@ -1,0 +1,28 @@
+#pragma once
+// Minimal aligned-column table printer for the benchmark harness — the bench
+// binaries print the same rows the paper's tables report.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace effitest::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Fixed-precision number formatting.
+  [[nodiscard]] static std::string num(double v, int precision);
+  [[nodiscard]] static std::string num(std::size_t v);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace effitest::core

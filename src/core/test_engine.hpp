@@ -1,0 +1,68 @@
+#pragma once
+// Procedure 2: frequency-stepping delay test with aligned ranges.
+//
+// The simulated tester applies (T, buffer steps) to the chip under test; a
+// path p_ij passes iff  D_ij(true) + x_i - x_j <= T  (setup constraint,
+// eq. 1). Each application to a batch is ONE tester iteration regardless of
+// how many paths it resolves — that is the entire point of multiplexing and
+// alignment. Per path the pass/fail outcome turns T - (x_i - x_j) into a new
+// upper or lower delay bound; a path leaves the batch when its range width
+// drops below the resolution epsilon.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/alignment.hpp"
+#include "core/multiplexing.hpp"
+#include "core/problem.hpp"
+#include "timing/model.hpp"
+
+namespace effitest::core {
+
+struct TestOptions {
+  double epsilon_ps = 0.5;  ///< stop when upper - lower < epsilon
+  double k0 = 1000.0;       ///< middle weight (k0 >> kd, §3.3)
+  double kd = 1.0;          ///< per-rank weight decrease
+  AlignMethod method = AlignMethod::kCoordinateDescent;
+  /// false freezes buffers at their current values during test
+  /// (multiplexing-without-alignment, Fig. 8 case 2).
+  bool align_with_buffers = true;
+  std::size_t max_iterations_per_batch = 2000;  ///< safety stop
+  lp::SolveOptions lp{};
+};
+
+struct TestRunResult {
+  /// Per monitored pair: measured (tested paths) or prior (others) bounds.
+  std::vector<double> lower;
+  std::vector<double> upper;
+  std::vector<bool> tested;     ///< which pairs were actually measured
+  std::size_t iterations = 0;   ///< total frequency steps on this chip
+  std::size_t forced = 0;       ///< paths force-resolved by the safety stop
+  std::vector<int> final_steps; ///< buffer state when the test ended
+  double align_seconds = 0.0;   ///< time spent choosing (T, x) — column Tt
+};
+
+/// Run the aligned delay test on one chip over the given batches.
+/// `prior_lower` / `prior_upper` are indexed by monitored-pair id
+/// (mu -/+ 3 sigma initially, §3.3).
+[[nodiscard]] TestRunResult run_delay_test(
+    const Problem& problem, const timing::Chip& chip,
+    const std::vector<Batch>& batches, std::span<const double> prior_lower,
+    std::span<const double> prior_upper,
+    std::span<const HoldConstraintX> hold, const TestOptions& options = {});
+
+/// Number of tester iterations for classic path-wise binary search on one
+/// path: halving [lower, upper] until the width is below epsilon. This is
+/// what refs. [2,6,8,9] assume and what columns t'a / t'v of Table 1 count.
+[[nodiscard]] std::size_t pathwise_iterations(double lower, double upper,
+                                              double epsilon);
+
+/// Simulated path-wise frequency stepping over all monitored pairs (the
+/// comparison baseline): every path is bisected individually.
+[[nodiscard]] TestRunResult run_pathwise_test(
+    const Problem& problem, const timing::Chip& chip,
+    std::span<const double> prior_lower, std::span<const double> prior_upper,
+    const TestOptions& options = {});
+
+}  // namespace effitest::core

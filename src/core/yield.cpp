@@ -1,0 +1,93 @@
+#include "core/yield.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+#include "timing/ssta.hpp"
+
+namespace effitest::core {
+
+std::vector<double> buffer_values(const Problem& problem,
+                                  std::span<const int> steps) {
+  if (steps.size() != problem.num_buffers()) {
+    throw std::invalid_argument("buffer_values: step count mismatch");
+  }
+  std::vector<double> x(steps.size());
+  for (std::size_t b = 0; b < steps.size(); ++b) {
+    x[b] = problem.buffers()[b].value(steps[b]);
+  }
+  return x;
+}
+
+namespace {
+
+double skew_of(const Problem& problem, std::span<const double> x,
+               std::size_t p) {
+  double skew = 0.0;
+  const int i = problem.src_buffer(p);
+  const int j = problem.dst_buffer(p);
+  if (i >= 0) skew += x[static_cast<std::size_t>(i)];
+  if (j >= 0) skew -= x[static_cast<std::size_t>(j)];
+  return skew;
+}
+
+}  // namespace
+
+bool chip_passes(const Problem& problem, const timing::Chip& chip,
+                 std::span<const double> x, double designated_period) {
+  constexpr double kTol = 1e-9;
+  const timing::CircuitModel& model = problem.model();
+  const double h = model.hold_time();
+  for (std::size_t p = 0; p < model.num_pairs(); ++p) {
+    const double skew = skew_of(problem, x, p);
+    if (chip.max_delay[p] + skew > designated_period + kTol) return false;
+    if (skew < h - chip.min_delay[p] - kTol) return false;
+  }
+  for (double d : chip.static_delay) {
+    if (d > designated_period + kTol) return false;
+  }
+  return true;
+}
+
+bool chip_passes_untuned(const Problem& problem, const timing::Chip& chip,
+                         double designated_period) {
+  const std::vector<double> zeros(problem.num_buffers(), 0.0);
+  return chip_passes(problem, chip, zeros, designated_period);
+}
+
+double untuned_required_period(const Problem& problem,
+                               const timing::Chip& chip) {
+  double worst = 0.0;
+  for (double d : chip.max_delay) worst = std::max(worst, d);
+  for (double d : chip.static_delay) worst = std::max(worst, d);
+  (void)problem;
+  return worst;
+}
+
+double untuned_yield_estimate(const Problem& problem,
+                              double designated_period) {
+  const timing::CanonicalDelay required =
+      timing::ssta_required_period(problem.model());
+  const double sigma = required.sigma();
+  if (sigma <= 0.0) return designated_period >= required.mean ? 1.0 : 0.0;
+  return stats::normal_cdf((designated_period - required.mean) / sigma);
+}
+
+double period_quantile_estimate(const Problem& problem, double q) {
+  return timing::ssta_required_period(problem.model()).quantile(q);
+}
+
+double period_quantile(const Problem& problem, double q, std::size_t chips,
+                       stats::Rng& rng) {
+  if (chips == 0) throw std::invalid_argument("period_quantile: chips == 0");
+  std::vector<double> required;
+  required.reserve(chips);
+  for (std::size_t c = 0; c < chips; ++c) {
+    const timing::Chip chip = problem.model().sample_chip(rng);
+    required.push_back(untuned_required_period(problem, chip));
+  }
+  return stats::quantile(std::move(required), q);
+}
+
+}  // namespace effitest::core

@@ -1,0 +1,55 @@
+#pragma once
+// Pass/fail evaluation of configured chips and yield estimation.
+//
+// A chip passes at designated period T_d under buffer values x when
+//  * every monitored pair meets setup:  D_ij(true) + x_i - x_j <= T_d,
+//  * every monitored pair meets hold:   x_i - x_j >= h_j - d_ij(true),
+//  * every promoted background pair meets setup (their skew is fixed 0).
+// This is the "separate pass/fail test after the buffers are configured"
+// the paper assumes (§3, ref. [8]).
+
+#include <span>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "timing/model.hpp"
+
+namespace effitest::core {
+
+/// Buffer delay values (ps) from a step assignment.
+[[nodiscard]] std::vector<double> buffer_values(const Problem& problem,
+                                                std::span<const int> steps);
+
+/// Full pass/fail check under explicit buffer values (ps).
+[[nodiscard]] bool chip_passes(const Problem& problem,
+                               const timing::Chip& chip,
+                               std::span<const double> x,
+                               double designated_period);
+
+/// Pass/fail with all buffers at exactly zero (circuit without tuning).
+[[nodiscard]] bool chip_passes_untuned(const Problem& problem,
+                                       const timing::Chip& chip,
+                                       double designated_period);
+
+/// The clock period this chip would need with all buffers at zero
+/// (max true delay over monitored and promoted background pairs).
+[[nodiscard]] double untuned_required_period(const Problem& problem,
+                                             const timing::Chip& chip);
+
+/// Monte-Carlo estimate of the q-quantile of the untuned required period —
+/// used to pick the paper's T1 (q = 0.5, 50% no-buffer yield) and T2
+/// (q = 0.8413, the mu + sigma point).
+[[nodiscard]] double period_quantile(const Problem& problem, double q,
+                                     std::size_t chips, stats::Rng& rng);
+
+/// Analytic (block-based SSTA, Clark's max) estimate of the untuned yield
+/// P(required period <= designated_period). Cross-checks the Monte-Carlo
+/// estimators; exact up to the Gaussian-max approximation.
+[[nodiscard]] double untuned_yield_estimate(const Problem& problem,
+                                            double designated_period);
+
+/// Analytic counterpart of period_quantile (no sampling).
+[[nodiscard]] double period_quantile_estimate(const Problem& problem,
+                                              double q);
+
+}  // namespace effitest::core

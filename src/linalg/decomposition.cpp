@@ -1,0 +1,143 @@
+#include "linalg/decomposition.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+namespace effitest::linalg {
+
+std::vector<double> Cholesky::solve(std::span<const double> b) const {
+  return backward_substitute(l, forward_substitute(l, b));
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const std::vector<double> col = b.column(c);
+    const std::vector<double> sol = solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double Cholesky::log_det() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) acc += std::log(l(i, i));
+  return 2.0 * acc;
+}
+
+namespace {
+
+// Single factorization attempt; returns false if a non-positive pivot is hit.
+bool try_cholesky(const Matrix& a, double diag_add, Matrix& l_out) {
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j) + diag_add;
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+      l(i, j) = v / ljj;
+    }
+  }
+  l_out = std::move(l);
+  return true;
+}
+
+}  // namespace
+
+Cholesky cholesky(const Matrix& a, double jitter) {
+  if (!a.is_square()) throw LinalgError("cholesky requires square matrix");
+  Matrix l;
+  if (try_cholesky(a, 0.0, l)) return Cholesky{std::move(l)};
+  if (jitter > 0.0) {
+    for (double add = jitter; add <= 100.0 * jitter; add *= 10.0) {
+      if (try_cholesky(a, add, l)) return Cholesky{std::move(l)};
+    }
+  }
+  throw LinalgError("cholesky: matrix is not positive definite");
+}
+
+std::vector<double> forward_substitute(const Matrix& l,
+                                       std::span<const double> b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) throw LinalgError("forward_substitute size mismatch");
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= l(i, k) * y[k];
+    y[i] = v / l(i, i);
+  }
+  return y;
+}
+
+std::vector<double> backward_substitute(const Matrix& l,
+                                        std::span<const double> y) {
+  const std::size_t n = l.rows();
+  if (y.size() != n) throw LinalgError("backward_substitute size mismatch");
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= l(k, ii) * x[k];
+    x[ii] = v / l(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b,
+                              double jitter) {
+  return cholesky(a, jitter).solve(b);
+}
+
+Matrix solve_spd(const Matrix& a, const Matrix& b, double jitter) {
+  return cholesky(a, jitter).solve(b);
+}
+
+Matrix inverse_spd(const Matrix& a, double jitter) {
+  return cholesky(a, jitter).solve(Matrix::identity(a.rows()));
+}
+
+std::vector<double> solve_general(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (!a.is_square() || b.size() != n) {
+    throw LinalgError("solve_general dimension mismatch");
+  }
+  // Gaussian elimination with partial pivoting.
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > best) {
+        best = std::abs(a(r, col));
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) throw LinalgError("solve_general: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv_piv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) * inv_piv;
+      if (f == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t c = col + 1; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = b[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) v -= a(ii, c) * x[c];
+    x[ii] = v / a(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace effitest::linalg

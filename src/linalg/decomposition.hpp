@@ -1,0 +1,64 @@
+#pragma once
+// Cholesky factorization and linear solves for symmetric positive
+// (semi-)definite systems.
+//
+// EffiTest uses these for two jobs:
+//  * sampling correlated path delays (Sigma = L L^T, sample = mu + L z), and
+//  * the conditional-Gaussian gain Sigma_{k,t} Sigma_t^{-1} of eqs. (4)-(5).
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace effitest::linalg {
+
+/// Result of a Cholesky factorization A = L * L^T with L lower-triangular.
+struct Cholesky {
+  Matrix l;  ///< lower-triangular factor
+
+  /// Solve A x = b using the factorization (forward + backward substitution).
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  /// Solve A X = B column-by-column.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// log(det(A)) = 2 * sum(log(diag(L))).
+  [[nodiscard]] double log_det() const;
+};
+
+/// Factor a symmetric positive definite matrix. Throws LinalgError if the
+/// matrix is not SPD (within `jitter` tolerance on the diagonal).
+///
+/// If `jitter` > 0, up to three attempts are made with increasing diagonal
+/// regularization (jitter, 10*jitter, 100*jitter) before giving up.  This
+/// mirrors standard practice for nearly singular covariance matrices built
+/// from highly correlated path delays.
+[[nodiscard]] Cholesky cholesky(const Matrix& a, double jitter = 0.0);
+
+/// Solve L y = b for lower-triangular L.
+[[nodiscard]] std::vector<double> forward_substitute(const Matrix& l,
+                                                     std::span<const double> b);
+
+/// Solve L^T x = y for lower-triangular L.
+[[nodiscard]] std::vector<double> backward_substitute(
+    const Matrix& l, std::span<const double> y);
+
+/// Solve the SPD system A x = b (factors internally).
+[[nodiscard]] std::vector<double> solve_spd(const Matrix& a,
+                                            std::span<const double> b,
+                                            double jitter = 0.0);
+
+/// Solve A X = B for SPD A.
+[[nodiscard]] Matrix solve_spd(const Matrix& a, const Matrix& b,
+                               double jitter = 0.0);
+
+/// Inverse of an SPD matrix via Cholesky.
+[[nodiscard]] Matrix inverse_spd(const Matrix& a, double jitter = 0.0);
+
+/// General square solve via Gaussian elimination with partial pivoting.
+/// Used by the simplex basis routines where systems are not symmetric.
+[[nodiscard]] std::vector<double> solve_general(Matrix a,
+                                                std::vector<double> b);
+
+}  // namespace effitest::linalg

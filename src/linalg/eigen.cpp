@@ -1,0 +1,101 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace effitest::linalg {
+
+std::size_t EigenDecomposition::components_for_coverage(double coverage) const {
+  if (values.empty()) return 0;
+  double total = 0.0;
+  for (double v : values) total += std::max(v, 0.0);
+  if (total <= 0.0) return 1;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    acc += std::max(values[i], 0.0);
+    if (acc >= coverage * total) return i + 1;
+  }
+  return values.size();
+}
+
+EigenDecomposition eigen_symmetric(Matrix a, std::size_t max_sweeps,
+                                   double tol) {
+  if (!a.is_square()) {
+    throw LinalgError("eigen_symmetric requires square matrix");
+  }
+  const std::size_t n = a.rows();
+  Matrix v = Matrix::identity(n);
+  if (n == 0) return {std::vector<double>{}, std::move(v)};
+
+  double total_norm = 0.0;
+  for (double x : a.data()) total_norm += x * x;
+  total_norm = std::sqrt(total_norm);
+  const double off_tol = std::max(tol * total_norm, 1e-300);
+
+  auto off_diag_norm = [&]() {
+    double s = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) s += 2.0 * a(p, q) * a(p, q);
+    }
+    return std::sqrt(s);
+  };
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() <= off_tol) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        // Standard stable Jacobi rotation.
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = a(i, i);
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return values[x] > values[y]; });
+
+  std::vector<double> sorted_values(n);
+  Matrix sorted_vectors(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_values[j] = values[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted_vectors(i, j) = v(i, order[j]);
+    }
+  }
+  return {std::move(sorted_values), std::move(sorted_vectors)};
+}
+
+}  // namespace effitest::linalg

@@ -1,0 +1,236 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace effitest::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw LinalgError("Matrix initializer rows have unequal lengths");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(std::span<const double> diag) {
+  Matrix m(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) {
+    throw LinalgError("Matrix::at index out of range");
+  }
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) {
+    throw LinalgError("Matrix::at index out of range");
+  }
+  return (*this)(r, c);
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  if (r >= rows_) throw LinalgError("Matrix::row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  if (r >= rows_) throw LinalgError("Matrix::row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::vector<double> Matrix::column(std::size_t c) const {
+  if (c >= cols_) throw LinalgError("Matrix::column index out of range");
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  if (r0 + nr > rows_ || c0 + nc > cols_) {
+    throw LinalgError("Matrix::block out of range");
+  }
+  Matrix out(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r) {
+    for (std::size_t c = 0; c < nc; ++c) {
+      out(r, c) = (*this)(r0 + r, c0 + c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::select(std::span<const std::size_t> row_idx,
+                      std::span<const std::size_t> col_idx) const {
+  Matrix out(row_idx.size(), col_idx.size());
+  for (std::size_t r = 0; r < row_idx.size(); ++r) {
+    if (row_idx[r] >= rows_) throw LinalgError("Matrix::select row index");
+    for (std::size_t c = 0; c < col_idx.size(); ++c) {
+      if (col_idx[c] >= cols_) throw LinalgError("Matrix::select col index");
+      out(r, c) = (*this)(row_idx[r], col_idx[c]);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw LinalgError("Matrix += dimension mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw LinalgError("Matrix -= dimension mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw LinalgError("Matrix * dimension mismatch");
+  }
+  Matrix out(rows_, rhs.cols_);
+  // i-k-j loop order keeps the inner loop contiguous in both operands.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* rhs_row = rhs.data_.data() + k * rhs.cols_;
+      double* out_row = out.data_.data() + i * rhs.cols_;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out_row[j] += aik * rhs_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::operator*(std::span<const double> v) const {
+  if (cols_ != v.size()) {
+    throw LinalgError("Matrix * vector dimension mismatch");
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_ptr = data_.data() + r * cols_;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+bool Matrix::approx_equal(const Matrix& rhs, double tol) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - rhs.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+double Matrix::max_asymmetry() const {
+  if (!is_square()) throw LinalgError("max_asymmetry requires square matrix");
+  double worst = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      worst = std::max(worst, std::abs((*this)(r, c) - (*this)(c, r)));
+    }
+  }
+  return worst;
+}
+
+void Matrix::symmetrize() {
+  if (!is_square()) throw LinalgError("symmetrize requires square matrix");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      const double avg = 0.5 * ((*this)(r, c) + (*this)(c, r));
+      (*this)(r, c) = avg;
+      (*this)(c, r) = avg;
+    }
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      os << m(r, c) << (c + 1 < m.cols() ? ", " : "");
+    }
+    os << (r + 1 < m.rows() ? ";\n" : "]");
+  }
+  return os;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw LinalgError("dot size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(std::span<const double> v) { return std::sqrt(dot(v, v)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size()) throw LinalgError("axpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+std::vector<double> subtract(std::span<const double> a,
+                             std::span<const double> b) {
+  if (a.size() != b.size()) throw LinalgError("subtract size mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<double> add(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) throw LinalgError("add size mismatch");
+  std::vector<double> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+double quadratic_form(const Matrix& m, std::span<const double> v) {
+  if (!m.is_square() || m.rows() != v.size()) {
+    throw LinalgError("quadratic_form dimension mismatch");
+  }
+  return dot(v, m * v);
+}
+
+}  // namespace effitest::linalg

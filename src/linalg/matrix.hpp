@@ -1,0 +1,150 @@
+#pragma once
+// Dense row-major matrix and small-vector helpers.
+//
+// This is the numeric workhorse underneath the statistical machinery of
+// EffiTest: covariance matrices, PCA, conditional-Gaussian gains and the
+// simplex tableau all sit on top of this type.  Sizes in this project are
+// modest (up to a few thousand rows), so a straightforward dense
+// implementation is both sufficient and easy to audit.
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace effitest::linalg {
+
+/// Error raised when a linear-algebra operation receives incompatible or
+/// numerically unusable input (dimension mismatch, non-SPD matrix, ...).
+class LinalgError : public std::runtime_error {
+ public:
+  explicit LinalgError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Dense row-major matrix of doubles.
+///
+/// Invariants: data_.size() == rows_ * cols_ at all times.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, all entries set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Build from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size n.
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from a vector.
+  [[nodiscard]] static Matrix diagonal(std::span<const double> diag);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] bool is_square() const noexcept { return rows_ == cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// View of row r as a contiguous span.
+  [[nodiscard]] std::span<double> row(std::size_t r);
+  [[nodiscard]] std::span<const double> row(std::size_t r) const;
+
+  /// Raw storage (row-major).
+  [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+  [[nodiscard]] std::span<double> data() noexcept { return data_; }
+
+  /// Extract a column as a vector.
+  [[nodiscard]] std::vector<double> column(std::size_t c) const;
+
+  /// Submatrix rows [r0, r0+nr) x cols [c0, c0+nc).
+  [[nodiscard]] Matrix block(std::size_t r0, std::size_t c0, std::size_t nr,
+                             std::size_t nc) const;
+
+  /// Submatrix formed by the given row and column index sets (in order).
+  [[nodiscard]] Matrix select(std::span<const std::size_t> row_idx,
+                              std::span<const std::size_t> col_idx) const;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  [[nodiscard]] friend Matrix operator+(Matrix a, const Matrix& b) {
+    a += b;
+    return a;
+  }
+  [[nodiscard]] friend Matrix operator-(Matrix a, const Matrix& b) {
+    a -= b;
+    return a;
+  }
+  [[nodiscard]] friend Matrix operator*(Matrix a, double s) {
+    a *= s;
+    return a;
+  }
+  [[nodiscard]] friend Matrix operator*(double s, Matrix a) {
+    a *= s;
+    return a;
+  }
+
+  /// Matrix product (this * rhs).
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+
+  /// Matrix-vector product.
+  [[nodiscard]] std::vector<double> operator*(std::span<const double> v) const;
+
+  /// Frobenius-norm distance check against another matrix.
+  [[nodiscard]] bool approx_equal(const Matrix& rhs, double tol = 1e-9) const;
+
+  /// Largest absolute asymmetry |a_ij - a_ji|; 0 for symmetric matrices.
+  [[nodiscard]] double max_asymmetry() const;
+
+  /// Force exact symmetry by averaging with the transpose (in place).
+  void symmetrize();
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+// -- Free vector helpers (std::vector<double> is the vector type) -----------
+
+/// Dot product; sizes must match.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(std::span<const double> v);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// Element-wise a - b.
+[[nodiscard]] std::vector<double> subtract(std::span<const double> a,
+                                           std::span<const double> b);
+
+/// Element-wise a + b.
+[[nodiscard]] std::vector<double> add(std::span<const double> a,
+                                      std::span<const double> b);
+
+/// v^T * M * v for square M (quadratic form).
+[[nodiscard]] double quadratic_form(const Matrix& m, std::span<const double> v);
+
+}  // namespace effitest::linalg

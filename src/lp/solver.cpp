@@ -1,0 +1,175 @@
+#include "lp/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+namespace effitest::lp {
+
+namespace {
+
+struct BranchState {
+  Model model;  // working copy whose bounds are tightened along the DFS
+  const SolveOptions* options = nullptr;
+  std::vector<int> integer_vars;
+  std::optional<Solution> incumbent;
+  int nodes = 0;
+  int simplex_iterations = 0;
+  bool node_limit_hit = false;
+};
+
+/// Index (into integer_vars) of the most fractional integer variable, or -1
+/// when the assignment is integral.
+int most_fractional(const BranchState& st, const std::vector<double>& x) {
+  int best = -1;
+  double best_frac_dist = st.options->int_tol;
+  for (std::size_t k = 0; k < st.integer_vars.size(); ++k) {
+    const auto j = static_cast<std::size_t>(st.integer_vars[k]);
+    const double v = x[j];
+    const double frac = v - std::floor(v);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist > best_frac_dist) {
+      best_frac_dist = dist;
+      best = static_cast<int>(k);
+    }
+  }
+  return best;
+}
+
+void offer_incumbent(BranchState& st, const std::vector<double>& x,
+                     double objective) {
+  if (!st.incumbent || objective < st.incumbent->objective - st.options->gap_tol) {
+    Solution s;
+    s.status = SolveStatus::kOptimal;
+    s.objective = objective;
+    s.values = x;
+    st.incumbent = std::move(s);
+  }
+}
+
+/// Fix every integer variable to the rounding of its relaxation value and
+/// re-solve the continuous rest; adopt the result as incumbent if feasible.
+void fix_and_round(BranchState& st, const std::vector<double>& relax) {
+  std::vector<std::pair<double, double>> saved;
+  saved.reserve(st.integer_vars.size());
+  bool ok = true;
+  for (int v : st.integer_vars) {
+    const Variable& var = st.model.variable(v);
+    saved.emplace_back(var.lower, var.upper);
+    double r = std::round(relax[static_cast<std::size_t>(v)]);
+    r = std::clamp(r, var.lower, var.upper);
+    // Bounds may themselves be fractional: snap inward to integers.
+    const double lo = std::ceil(var.lower - st.options->int_tol);
+    const double hi = std::floor(var.upper + st.options->int_tol);
+    if (lo > hi) {
+      ok = false;
+      break;
+    }
+    r = std::clamp(r, lo, hi);
+    st.model.set_bounds(v, r, r);
+  }
+  if (ok) {
+    const LpSolution lp = solve_lp(st.model, st.options->simplex);
+    st.simplex_iterations += lp.iterations;
+    if (lp.status == SolveStatus::kOptimal) {
+      offer_incumbent(st, lp.values, lp.objective);
+    }
+  }
+  for (std::size_t k = 0; k < saved.size(); ++k) {
+    st.model.set_bounds(st.integer_vars[k], saved[k].first, saved[k].second);
+  }
+}
+
+void branch_and_bound(BranchState& st) {
+  if (st.nodes >= st.options->max_nodes) {
+    st.node_limit_hit = true;
+    return;
+  }
+  ++st.nodes;
+
+  const LpSolution lp = solve_lp(st.model, st.options->simplex);
+  st.simplex_iterations += lp.iterations;
+  if (lp.status != SolveStatus::kOptimal) return;  // infeasible or limit: prune
+  if (st.incumbent &&
+      lp.objective >= st.incumbent->objective - st.options->gap_tol) {
+    return;  // bound
+  }
+
+  const int k = most_fractional(st, lp.values);
+  if (k < 0) {
+    offer_incumbent(st, lp.values, lp.objective);
+    return;
+  }
+
+  if (st.options->heuristic_period > 0 &&
+      (st.nodes == 1 || st.nodes % st.options->heuristic_period == 0)) {
+    fix_and_round(st, lp.values);
+    if (st.incumbent &&
+        lp.objective >= st.incumbent->objective - st.options->gap_tol) {
+      return;
+    }
+  }
+
+  const int var = st.integer_vars[static_cast<std::size_t>(k)];
+  const double value = lp.values[static_cast<std::size_t>(var)];
+  const Variable& v = st.model.variable(var);
+  const double saved_lo = v.lower;
+  const double saved_hi = v.upper;
+  const double fl = std::floor(value);
+
+  // Explore the branch nearer to the relaxation value first.
+  const bool down_first = (value - fl) < 0.5;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool down = (pass == 0) == down_first;
+    if (down) {
+      if (fl < saved_lo - st.options->int_tol) continue;
+      st.model.set_bounds(var, saved_lo, std::min(fl, saved_hi));
+    } else {
+      if (fl + 1.0 > saved_hi + st.options->int_tol) continue;
+      st.model.set_bounds(var, std::max(fl + 1.0, saved_lo), saved_hi);
+    }
+    branch_and_bound(st);
+    st.model.set_bounds(var, saved_lo, saved_hi);
+    if (st.node_limit_hit) return;
+  }
+}
+
+}  // namespace
+
+Solution solve(const Model& model, const SolveOptions& options) {
+  Solution out;
+  if (!model.has_integer_variables()) {
+    const LpSolution lp = solve_lp(model, options.simplex);
+    out.status = lp.status;
+    out.objective = lp.objective;
+    out.values = lp.values;
+    out.simplex_iterations = lp.iterations;
+    out.nodes = 0;
+    return out;
+  }
+
+  BranchState st;
+  st.model = model;
+  st.options = &options;
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    if (model.variable(static_cast<int>(j)).type == VarType::kInteger) {
+      st.integer_vars.push_back(static_cast<int>(j));
+    }
+  }
+  branch_and_bound(st);
+
+  out.nodes = st.nodes;
+  out.simplex_iterations = st.simplex_iterations;
+  if (st.incumbent) {
+    out.objective = st.incumbent->objective;
+    out.values = st.incumbent->values;
+    out.status =
+        st.node_limit_hit ? SolveStatus::kNodeLimit : SolveStatus::kOptimal;
+  } else {
+    out.status =
+        st.node_limit_hit ? SolveStatus::kNodeLimit : SolveStatus::kInfeasible;
+  }
+  return out;
+}
+
+}  // namespace effitest::lp

@@ -1,0 +1,41 @@
+#pragma once
+// Mixed-integer solve: branch & bound over the simplex LP relaxation.
+//
+// Branching is depth-first on the most fractional integer variable with a
+// periodic fix-and-round incumbent heuristic; nodes are pruned by bound
+// against the incumbent. Together with simplex.hpp this forms the in-house
+// replacement for the Gurobi solver used in the paper.
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace effitest::lp {
+
+struct SolveOptions {
+  SimplexOptions simplex{};
+  int max_nodes = 200000;       ///< branch & bound node limit
+  double int_tol = 1e-6;        ///< integrality tolerance
+  double gap_tol = 1e-9;        ///< prune when bound >= incumbent - gap_tol
+  int heuristic_period = 16;    ///< run fix-and-round every k nodes (0 = off)
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;
+  int simplex_iterations = 0;
+  int nodes = 0;
+
+  [[nodiscard]] bool feasible() const {
+    return status == SolveStatus::kOptimal ||
+           (status == SolveStatus::kNodeLimit && !values.empty()) ||
+           (status == SolveStatus::kIterationLimit && !values.empty());
+  }
+};
+
+/// Solve `model` to optimality: plain simplex when the model has no integer
+/// variables, branch & bound otherwise. On kNodeLimit the best incumbent
+/// found so far (if any) is returned in `values`.
+[[nodiscard]] Solution solve(const Model& model, const SolveOptions& options = {});
+
+}  // namespace effitest::lp

@@ -1,0 +1,73 @@
+#include "netlist/cell.hpp"
+
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+namespace effitest::netlist {
+
+std::string_view to_string(CellType t) {
+  switch (t) {
+    case CellType::kInput: return "INPUT";
+    case CellType::kOutput: return "OUTPUT";
+    case CellType::kDff: return "DFF";
+    case CellType::kBuf: return "BUFF";
+    case CellType::kNot: return "NOT";
+    case CellType::kAnd: return "AND";
+    case CellType::kNand: return "NAND";
+    case CellType::kOr: return "OR";
+    case CellType::kNor: return "NOR";
+    case CellType::kXor: return "XOR";
+    case CellType::kXnor: return "XNOR";
+  }
+  return "?";
+}
+
+std::optional<CellType> cell_type_from_token(std::string_view token) {
+  std::string upper;
+  upper.reserve(token.size());
+  for (char c : token) upper.push_back(static_cast<char>(std::toupper(c)));
+  if (upper == "INPUT") return CellType::kInput;
+  if (upper == "OUTPUT") return CellType::kOutput;
+  if (upper == "DFF") return CellType::kDff;
+  if (upper == "BUF" || upper == "BUFF") return CellType::kBuf;
+  if (upper == "NOT" || upper == "INV") return CellType::kNot;
+  if (upper == "AND") return CellType::kAnd;
+  if (upper == "NAND") return CellType::kNand;
+  if (upper == "OR") return CellType::kOr;
+  if (upper == "NOR") return CellType::kNor;
+  if (upper == "XOR") return CellType::kXor;
+  if (upper == "XNOR") return CellType::kXnor;
+  return std::nullopt;
+}
+
+CellLibrary CellLibrary::standard() {
+  CellLibrary lib;
+  auto set = [&lib](CellType t, double d, double sl, double st, double sv) {
+    lib.timings_[static_cast<std::size_t>(t)] = CellTiming{d, sl, st, sv};
+  };
+  // Representative 45nm-class numbers: nominal propagation delays (ps) and
+  // relative first-order sensitivities to L / tox / Vth deviations. The
+  // sensitivities are calibrated so a gate's total delay sigma is ~6% of
+  // nominal under the paper's parameter sigmas (15.7% / 5.3% / 4.4%), which
+  // reproduces the paper's regime where the tuning range (T/8) spans about
+  // two path-delay sigmas.
+  set(CellType::kInput, 0.0, 0.0, 0.0, 0.0);
+  set(CellType::kOutput, 0.0, 0.0, 0.0, 0.0);
+  set(CellType::kDff, 12.0, 0.32, 0.28, 0.42);  // clk->Q stage
+  set(CellType::kBuf, 9.0, 0.33, 0.28, 0.42);
+  set(CellType::kNot, 7.0, 0.35, 0.30, 0.45);
+  set(CellType::kAnd, 13.0, 0.35, 0.30, 0.45);
+  set(CellType::kNand, 11.0, 0.37, 0.30, 0.47);
+  set(CellType::kOr, 14.0, 0.35, 0.30, 0.45);
+  set(CellType::kNor, 12.0, 0.37, 0.30, 0.47);
+  set(CellType::kXor, 18.0, 0.40, 0.32, 0.50);
+  set(CellType::kXnor, 18.0, 0.40, 0.32, 0.50);
+  return lib;
+}
+
+const CellTiming& CellLibrary::timing(CellType t) const {
+  return timings_[static_cast<std::size_t>(t)];
+}
+
+}  // namespace effitest::netlist

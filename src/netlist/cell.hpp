@@ -1,0 +1,69 @@
+#pragma once
+// Cell types and the characterized cell library.
+//
+// The paper maps its benchmark circuits to "a library from an industry
+// partner". That library is proprietary; this module provides the
+// substitute: a small characterized library with nominal delays and
+// first-order sensitivities to the three varying process parameters the
+// paper lists (transistor length, oxide thickness, threshold voltage).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace effitest::netlist {
+
+enum class CellType : std::uint8_t {
+  kInput,   ///< primary input (zero delay source)
+  kOutput,  ///< primary output marker
+  kDff,     ///< D flip-flop (sequential element)
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+};
+
+[[nodiscard]] std::string_view to_string(CellType t);
+
+/// Parse an ISCAS89-style type token (case-insensitive, "BUFF" accepted).
+[[nodiscard]] std::optional<CellType> cell_type_from_token(std::string_view token);
+
+[[nodiscard]] constexpr bool is_combinational(CellType t) {
+  return t != CellType::kInput && t != CellType::kOutput && t != CellType::kDff;
+}
+
+/// First-order delay characterization of one cell type:
+///   delay = nominal * (1 + s_length*dL + s_tox*dTox + s_vth*dVth)
+/// where dX are relative parameter deviations.
+struct CellTiming {
+  double nominal_delay_ps = 0.0;
+  double sens_length = 0.0;
+  double sens_tox = 0.0;
+  double sens_vth = 0.0;
+};
+
+/// Characterized library (delays in picoseconds).
+class CellLibrary {
+ public:
+  /// Default library with representative 45nm-class delays.
+  [[nodiscard]] static CellLibrary standard();
+
+  [[nodiscard]] const CellTiming& timing(CellType t) const;
+
+  [[nodiscard]] double dff_setup_ps() const { return dff_setup_ps_; }
+  [[nodiscard]] double dff_hold_ps() const { return dff_hold_ps_; }
+  /// Clock-to-Q delay of the flip-flop output stage.
+  [[nodiscard]] double dff_clk_to_q_ps() const { return timing(CellType::kDff).nominal_delay_ps; }
+
+ private:
+  CellTiming timings_[11] = {};
+  double dff_setup_ps_ = 2.0;
+  double dff_hold_ps_ = 1.5;
+};
+
+}  // namespace effitest::netlist

@@ -1,0 +1,87 @@
+#include "stats/conditional.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/decomposition.hpp"
+
+namespace effitest::stats {
+
+ConditionalGaussian::ConditionalGaussian(const linalg::Matrix& cov,
+                                         std::vector<std::size_t> measured,
+                                         double jitter)
+    : measured_(std::move(measured)) {
+  const std::size_t n = cov.rows();
+  if (!cov.is_square()) {
+    throw std::invalid_argument("ConditionalGaussian: covariance not square");
+  }
+  std::vector<bool> is_measured(n, false);
+  for (std::size_t idx : measured_) {
+    if (idx >= n) {
+      throw std::invalid_argument("ConditionalGaussian: index out of range");
+    }
+    if (is_measured[idx]) {
+      throw std::invalid_argument("ConditionalGaussian: duplicate index");
+    }
+    is_measured[idx] = true;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!is_measured[i]) predicted_.push_back(i);
+  }
+
+  const std::size_t nt = measured_.size();
+  const std::size_t nk = predicted_.size();
+
+  // Sigma_t (measured block) and Sigma_{k,t} (cross block).
+  const linalg::Matrix sigma_t = cov.select(measured_, measured_);
+  const linalg::Matrix sigma_kt = cov.select(predicted_, measured_);
+
+  if (nt == 0) {
+    // Degenerate: nothing measured; posterior equals prior.
+    gain_ = linalg::Matrix(nk, 0);
+    posterior_sigma_.resize(nk);
+    for (std::size_t k = 0; k < nk; ++k) {
+      posterior_sigma_[k] = std::sqrt(std::max(cov(predicted_[k], predicted_[k]), 0.0));
+    }
+    return;
+  }
+
+  // W = Sigma_{k,t} Sigma_t^{-1}  computed as solving Sigma_t W^T = Sigma_{t,k}.
+  const linalg::Cholesky chol = linalg::cholesky(sigma_t, jitter);
+  const linalg::Matrix wt = chol.solve(sigma_kt.transposed());  // nt x nk
+  gain_ = wt.transposed();                                      // nk x nt
+
+  posterior_sigma_.resize(nk);
+  for (std::size_t k = 0; k < nk; ++k) {
+    double reduction = 0.0;
+    for (std::size_t t = 0; t < nt; ++t) {
+      reduction += gain_(k, t) * sigma_kt(k, t);
+    }
+    const double var = cov(predicted_[k], predicted_[k]) - reduction;
+    // Numerical floor: eq. (5) guarantees var >= 0 mathematically.
+    posterior_sigma_[k] = std::sqrt(std::max(var, 0.0));
+  }
+}
+
+std::vector<double> ConditionalGaussian::posterior_mean(
+    std::span<const double> mean, std::span<const double> observed) const {
+  if (observed.size() != measured_.size()) {
+    throw std::invalid_argument("posterior_mean: observation size mismatch");
+  }
+  std::vector<double> innovation(measured_.size());
+  for (std::size_t t = 0; t < measured_.size(); ++t) {
+    innovation[t] = observed[t] - mean[measured_[t]];
+  }
+  std::vector<double> out(predicted_.size());
+  for (std::size_t k = 0; k < predicted_.size(); ++k) {
+    double acc = mean[predicted_[k]];
+    for (std::size_t t = 0; t < measured_.size(); ++t) {
+      acc += gain_(k, t) * innovation[t];
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+}  // namespace effitest::stats

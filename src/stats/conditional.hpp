@@ -1,0 +1,63 @@
+#pragma once
+// Conditional Gaussian prediction — the statistical heart of EffiTest §3.1.
+//
+// Given jointly Gaussian delays D = [d_k; D_t] ~ N(mu, Sigma), once the
+// subset D_t has been *measured* as d_t, each unmeasured delay d_k follows
+//
+//   mu'_k    = mu_k + Sigma_{k,t} Sigma_t^{-1} (d_t - mu_t)         (paper eq. 4)
+//   sigma'_k = sqrt(sigma_k^2 - Sigma_{k,t} Sigma_t^{-1} Sigma_{t,k})   (eq. 5)
+//
+// The gain matrix W = Sigma_{k,t} Sigma_t^{-1} and the posterior sigmas do
+// not depend on the measured values, so they are precomputed once per
+// circuit; per-chip prediction is then a single mat-vec. This is what makes
+// the paper's per-chip estimation step (column Ts of Table 1) essentially free.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace effitest::stats {
+
+/// Precomputed conditional-Gaussian predictor over a fixed index split.
+class ConditionalGaussian {
+ public:
+  /// `cov` is the joint covariance over n variables; `measured` lists the
+  /// indices that will be observed (order defines the observation vector
+  /// layout). The remaining indices, in ascending order, form the predicted
+  /// set. Throws on duplicate/out-of-range indices or non-SPD measured block.
+  ConditionalGaussian(const linalg::Matrix& cov,
+                      std::vector<std::size_t> measured,
+                      double jitter = 1e-12);
+
+  [[nodiscard]] const std::vector<std::size_t>& measured_indices() const {
+    return measured_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& predicted_indices() const {
+    return predicted_;
+  }
+
+  /// Gain matrix W (|predicted| x |measured|).
+  [[nodiscard]] const linalg::Matrix& gain() const { return gain_; }
+
+  /// Posterior standard deviations sigma'_k, one per predicted index
+  /// (chip-independent, paper eq. 5).
+  [[nodiscard]] const std::vector<double>& posterior_sigma() const {
+    return posterior_sigma_;
+  }
+
+  /// Posterior means mu'_k for the predicted indices given the measured
+  /// values (paper eq. 4). `mean` is the full-length prior mean vector;
+  /// `observed` follows the order of measured_indices().
+  [[nodiscard]] std::vector<double> posterior_mean(
+      std::span<const double> mean, std::span<const double> observed) const;
+
+ private:
+  std::vector<std::size_t> measured_;
+  std::vector<std::size_t> predicted_;
+  linalg::Matrix gain_;
+  std::vector<double> posterior_sigma_;
+};
+
+}  // namespace effitest::stats

@@ -1,0 +1,86 @@
+#include "stats/multivariate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace effitest::stats {
+
+MultivariateNormal::MultivariateNormal(std::vector<double> mean,
+                                       const linalg::Matrix& cov,
+                                       double jitter)
+    : mean_(std::move(mean)), chol_(linalg::cholesky(cov, jitter)) {
+  if (cov.rows() != mean_.size()) {
+    throw std::invalid_argument("MultivariateNormal: mean/cov size mismatch");
+  }
+}
+
+std::vector<double> MultivariateNormal::sample(Rng& rng) const {
+  const std::size_t n = mean_.size();
+  std::vector<double> z(n);
+  for (double& v : z) v = rng.normal();
+  std::vector<double> out = mean_;
+  const linalg::Matrix& l = chol_.l;
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k <= i; ++k) acc += l(i, k) * z[k];
+    out[i] += acc;
+  }
+  return out;
+}
+
+linalg::Matrix MultivariateNormal::sample_many(Rng& rng,
+                                               std::size_t count) const {
+  linalg::Matrix out(count, mean_.size());
+  for (std::size_t r = 0; r < count; ++r) {
+    const std::vector<double> s = sample(rng);
+    for (std::size_t c = 0; c < s.size(); ++c) out(r, c) = s[c];
+  }
+  return out;
+}
+
+linalg::Matrix sample_covariance(const linalg::Matrix& rows) {
+  const std::size_t n = rows.rows();
+  const std::size_t d = rows.cols();
+  if (n < 2) throw std::invalid_argument("sample_covariance needs >= 2 rows");
+  std::vector<double> mu(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) mu[c] += rows(r, c);
+  }
+  for (double& v : mu) v /= static_cast<double>(n);
+  linalg::Matrix cov(d, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < d; ++i) {
+      const double di = rows(r, i) - mu[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov(i, j) += di * (rows(r, j) - mu[j]);
+      }
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov(i, j) *= scale;
+      cov(j, i) = cov(i, j);
+    }
+  }
+  return cov;
+}
+
+linalg::Matrix covariance_to_correlation(const linalg::Matrix& cov) {
+  if (!cov.is_square()) {
+    throw std::invalid_argument("covariance_to_correlation: square required");
+  }
+  const std::size_t n = cov.rows();
+  linalg::Matrix corr(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double si = std::sqrt(cov(i, i));
+    for (std::size_t j = 0; j < n; ++j) {
+      const double sj = std::sqrt(cov(j, j));
+      corr(i, j) = (si > 0.0 && sj > 0.0) ? cov(i, j) / (si * sj)
+                                          : (i == j ? 1.0 : 0.0);
+    }
+  }
+  return corr;
+}
+
+}  // namespace effitest::stats

@@ -1,0 +1,48 @@
+#pragma once
+// Multivariate normal sampling via Cholesky factorization.
+//
+// Sampling simulated dies (10,000 chips in the paper's experiments) requires
+// joint draws of correlated path delays: X = mu + L z with Sigma = L L^T.
+
+#include <span>
+#include <vector>
+
+#include "linalg/decomposition.hpp"
+#include "linalg/matrix.hpp"
+#include "stats/rng.hpp"
+
+namespace effitest::stats {
+
+/// Multivariate normal distribution N(mu, Sigma) prepared for repeated
+/// sampling. The covariance is factored once at construction (with a small
+/// diagonal jitter fallback for near-singular matrices built from highly
+/// correlated delays).
+class MultivariateNormal {
+ public:
+  MultivariateNormal(std::vector<double> mean, const linalg::Matrix& cov,
+                     double jitter = 1e-10);
+
+  [[nodiscard]] std::size_t dimension() const { return mean_.size(); }
+  [[nodiscard]] std::span<const double> mean() const { return mean_; }
+  [[nodiscard]] const linalg::Matrix& cholesky_factor() const {
+    return chol_.l;
+  }
+
+  /// One joint draw.
+  [[nodiscard]] std::vector<double> sample(Rng& rng) const;
+
+  /// `count` joint draws as rows of a matrix.
+  [[nodiscard]] linalg::Matrix sample_many(Rng& rng, std::size_t count) const;
+
+ private:
+  std::vector<double> mean_;
+  linalg::Cholesky chol_;
+};
+
+/// Sample covariance matrix of observations given as matrix rows.
+[[nodiscard]] linalg::Matrix sample_covariance(const linalg::Matrix& rows);
+
+/// Convert a covariance matrix to a correlation matrix.
+[[nodiscard]] linalg::Matrix covariance_to_correlation(const linalg::Matrix& cov);
+
+}  // namespace effitest::stats

@@ -1,0 +1,50 @@
+#pragma once
+// Deterministic random-number generation.
+//
+// Every stochastic component of the reproduction (process-variation factors,
+// simulated dies, hold-time scenario sampling) draws from this wrapper so
+// that experiments are reproducible from a single seed.
+
+#include <cstdint>
+#include <random>
+
+namespace effitest::stats {
+
+/// Seeded pseudo-random generator (mt19937_64) with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed) : engine_(seed) {}
+
+  /// Standard normal draw.
+  [[nodiscard]] double normal() { return normal_(engine_); }
+
+  /// Normal draw with given mean / stddev.
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return mean + stddev * normal_(engine_);
+  }
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform() { return uniform_(engine_); }
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform_(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Derive an independent child generator (useful for per-chip streams).
+  [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::normal_distribution<double> normal_{0.0, 1.0};
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+}  // namespace effitest::stats

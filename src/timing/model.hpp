@@ -1,0 +1,152 @@
+#pragma once
+// Statistical circuit timing model: the bridge between the structural world
+// (netlist + STA) and the statistical machinery of EffiTest.
+//
+// For every monitored FF pair (a path p_ij in the paper's terminology —
+// np of them in Table 1) the model carries:
+//  * a first-order canonical delay form of the nominally-critical path
+//    (mean + sparse loading over spatial variation factors + independent
+//    mismatch variance) used for covariance, grouping, PCA and prediction;
+//  * the full set of near-critical structural paths, used when sampling the
+//    *true* delays of a simulated die (the tested quantity is the max);
+//  * the shortest structural path (hold-time analysis, §3.5).
+//
+// Monitored pairs are exactly the FF pairs incident to a buffered flip-flop:
+// their setup constraints involve tuning values x_i, so their delays are
+// "required for buffer configuration" (column np). Remaining pairs are kept
+// as static background: a pair whose delay cannot plausibly approach the
+// clock period (mean + 6 sigma below a conservative threshold) is discarded
+// from per-chip evaluation; any other non-tunable pair is promoted into the
+// checked set.
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "netlist/cell.hpp"
+#include "netlist/netlist.hpp"
+#include "stats/rng.hpp"
+#include "timing/graph.hpp"
+#include "timing/variation.hpp"
+
+namespace effitest::timing {
+
+/// First-order canonical delay form of one structural path.
+struct DelayForm {
+  double mean = 0.0;            ///< nominal delay (+ setup for max forms), ps
+  SparseLoading loading;        ///< systematic factor loadings (ps per unit z)
+  std::vector<int> mismatch_slots;  ///< sorted slot ids of contributing gates
+  double mismatch_var = 0.0;    ///< total independent mismatch variance, ps^2
+  double extra_indep_var = 0.0; ///< additional independent variance (Fig 7)
+
+  [[nodiscard]] double variance() const {
+    return sparse_dot(loading, loading) + mismatch_var + extra_indep_var;
+  }
+  [[nodiscard]] double sigma() const;
+};
+
+/// One monitored FF-pair path p_ij.
+struct MonitoredPair {
+  int id = -1;
+  int src_ff = -1;
+  int dst_ff = -1;
+  DelayForm max_form;                ///< critical-path canonical form (+ setup)
+  std::vector<DelayForm> max_alts;   ///< all near-critical forms (truth = max)
+  DelayForm min_form;                ///< shortest-path form (hold)
+  bool src_buffered = false;
+  bool dst_buffered = false;
+};
+
+/// True (sampled) delays of one simulated die.
+struct Chip {
+  /// Per monitored pair: true max delay (includes setup), ps.
+  std::vector<double> max_delay;
+  /// Per monitored pair: true min path delay (no hold adjustment), ps.
+  std::vector<double> min_delay;
+  /// True max delays of promoted non-tunable background pairs.
+  std::vector<double> static_delay;
+};
+
+struct ModelOptions {
+  VariationParams variation{};
+  double slack_window_ps = 15.0;       ///< near-critical enumeration window
+  std::size_t max_paths_per_pair = 4;  ///< truth evaluation path cap
+  /// Fig-7 knob: scale every path sigma by this factor by *adding
+  /// independent variance*, leaving cross covariances untouched.
+  double random_inflation = 1.0;
+  /// Background pairs with mean + 6 sigma below this fraction of the critical
+  /// delay are statically discarded.
+  double static_discard_fraction = 0.6;
+};
+
+class CircuitModel {
+ public:
+  CircuitModel(const netlist::Netlist& netlist,
+               const netlist::CellLibrary& library,
+               std::vector<int> buffered_ffs, ModelOptions options = {});
+
+  [[nodiscard]] const std::vector<MonitoredPair>& pairs() const {
+    return pairs_;
+  }
+  [[nodiscard]] std::size_t num_pairs() const { return pairs_.size(); }
+  [[nodiscard]] const std::vector<int>& buffered_ffs() const {
+    return buffered_ffs_;
+  }
+  /// Buffer index of an FF cell id, or -1 when the FF carries no buffer.
+  [[nodiscard]] int buffer_index(int ff) const;
+
+  [[nodiscard]] const ModelOptions& options() const { return options_; }
+  [[nodiscard]] double setup_time() const { return setup_time_; }
+  [[nodiscard]] double hold_time() const { return hold_time_; }
+  /// Nominal critical delay (max monitored mean, includes setup), ps.
+  [[nodiscard]] double nominal_critical_delay() const { return critical_; }
+
+  /// Prior means of monitored max delays (paper's mu vector).
+  [[nodiscard]] std::vector<double> max_means() const;
+  /// Prior sigmas of monitored max delays.
+  [[nodiscard]] std::vector<double> max_sigmas() const;
+  /// Joint covariance of monitored max delays (paper's Sigma).
+  [[nodiscard]] linalg::Matrix max_covariance() const;
+
+  /// Covariance between two monitored pairs' max forms.
+  [[nodiscard]] double max_cov(std::size_t i, std::size_t j) const;
+
+  /// Sample the true delays of one die.
+  [[nodiscard]] Chip sample_chip(stats::Rng& rng) const;
+
+  /// Number of promoted (checked but non-tunable) background pairs.
+  [[nodiscard]] std::size_t num_static_pairs() const {
+    return static_forms_.size();
+  }
+  /// Count of background pairs discarded as statically safe.
+  [[nodiscard]] std::size_t num_discarded_pairs() const {
+    return discarded_pairs_;
+  }
+
+ private:
+  [[nodiscard]] DelayForm build_form(const StructuralPath& path,
+                                     double terminal_margin);
+  [[nodiscard]] int mismatch_slot(int cell_id);
+  [[nodiscard]] double form_cov(const DelayForm& a, const DelayForm& b) const;
+  void apply_inflation(DelayForm& f) const;
+
+  const netlist::Netlist* netlist_;
+  const netlist::CellLibrary* library_;
+  ModelOptions options_;
+  VariationModel variation_;
+  std::vector<int> buffered_ffs_;
+  std::unordered_map<int, int> buffer_index_;
+  std::vector<MonitoredPair> pairs_;
+  std::vector<DelayForm> static_forms_;
+  std::size_t discarded_pairs_ = 0;
+  double setup_time_ = 0.0;
+  double hold_time_ = 0.0;
+  double critical_ = 0.0;
+
+  // Mismatch bookkeeping: cell id -> slot, slot -> variance.
+  std::unordered_map<int, int> slot_of_cell_;
+  std::vector<double> slot_var_;
+};
+
+}  // namespace effitest::timing

@@ -1,0 +1,131 @@
+#include "timing/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace effitest::timing {
+
+void accumulate(SparseLoading& into, const SparseLoading& add) {
+  SparseLoading out;
+  out.reserve(into.size() + add.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < into.size() && j < add.size()) {
+    if (into[i].first < add[j].first) {
+      out.push_back(into[i++]);
+    } else if (add[j].first < into[i].first) {
+      out.push_back(add[j++]);
+    } else {
+      out.emplace_back(into[i].first, into[i].second + add[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  while (i < into.size()) out.push_back(into[i++]);
+  while (j < add.size()) out.push_back(add[j++]);
+  into = std::move(out);
+}
+
+double sparse_dot(const SparseLoading& a, const SparseLoading& b) {
+  double acc = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      ++i;
+    } else if (b[j].first < a[i].first) {
+      ++j;
+    } else {
+      acc += a[i].second * b[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return acc;
+}
+
+double sparse_apply(const SparseLoading& a, std::span<const double> z) {
+  double acc = 0.0;
+  for (const auto& [idx, w] : a) acc += w * z[static_cast<std::size_t>(idx)];
+  return acc;
+}
+
+VariationModel::VariationModel(VariationParams params,
+                               const netlist::CellLibrary& library)
+    : params_(params), library_(&library) {
+  if (params_.grid_levels < 0 || params_.grid_levels > 8) {
+    throw std::invalid_argument("VariationModel: grid_levels out of range");
+  }
+  if (params_.global_corr < 0.0 || params_.global_corr > 1.0) {
+    throw std::invalid_argument("VariationModel: global_corr outside [0,1]");
+  }
+  factors_per_param_ = 1;  // global
+  for (int l = 1; l <= params_.grid_levels; ++l) {
+    factors_per_param_ += static_cast<std::size_t>(1) << (2 * l);  // 4^l
+  }
+  num_factors_ = 3 * factors_per_param_;
+  w_global_ = std::sqrt(params_.global_corr);
+  const double rest = 1.0 - params_.global_corr;
+  w_level_ = params_.grid_levels > 0
+                 ? std::sqrt(rest / static_cast<double>(params_.grid_levels))
+                 : 0.0;
+  // With zero grid levels all non-global mass would be lost; fold it into the
+  // global factor so total parameter variance stays sigma_p^2.
+  if (params_.grid_levels == 0) w_global_ = 1.0;
+}
+
+int VariationModel::cell_index(int level, netlist::Point pos) const {
+  const int side = 1 << level;
+  int cx = static_cast<int>(pos.x * side);
+  int cy = static_cast<int>(pos.y * side);
+  cx = std::clamp(cx, 0, side - 1);
+  cy = std::clamp(cy, 0, side - 1);
+  return cy * side + cx;
+}
+
+SparseLoading VariationModel::gate_loading(netlist::CellType type,
+                                           netlist::Point pos) const {
+  const netlist::CellTiming& t = library_->timing(type);
+  if (t.nominal_delay_ps <= 0.0) return {};
+  const double sens[3] = {t.sens_length, t.sens_tox, t.sens_vth};
+  const double sigma[3] = {params_.sigma_length, params_.sigma_tox,
+                           params_.sigma_vth};
+  SparseLoading out;
+  out.reserve(3 * static_cast<std::size_t>(params_.grid_levels + 1));
+  for (int p = 0; p < 3; ++p) {
+    // Delay deviation per unit of this parameter's factors (ps).
+    const double scale = t.nominal_delay_ps * sens[p] * sigma[p];
+    if (scale == 0.0) continue;
+    const int base = p * static_cast<int>(factors_per_param_);
+    out.emplace_back(base, scale * w_global_);
+    int offset = 1;
+    for (int l = 1; l <= params_.grid_levels; ++l) {
+      out.emplace_back(base + offset + cell_index(l, pos), scale * w_level_);
+      offset += 1 << (2 * l);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double VariationModel::mismatch_sigma(netlist::CellType type) const {
+  return params_.mismatch_frac * systematic_sigma(type);
+}
+
+double VariationModel::systematic_sigma(netlist::CellType type) const {
+  const netlist::CellTiming& t = library_->timing(type);
+  const double v =
+      t.sens_length * params_.sigma_length * t.sens_length * params_.sigma_length +
+      t.sens_tox * params_.sigma_tox * t.sens_tox * params_.sigma_tox +
+      t.sens_vth * params_.sigma_vth * t.sens_vth * params_.sigma_vth;
+  return t.nominal_delay_ps * std::sqrt(v);
+}
+
+std::vector<double> VariationModel::sample_factors(stats::Rng& rng) const {
+  std::vector<double> z(num_factors_);
+  for (double& v : z) v = rng.normal();
+  return z;
+}
+
+}  // namespace effitest::timing

@@ -1,0 +1,104 @@
+#include "core/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generator.hpp"
+
+namespace effitest::core {
+namespace {
+
+const timing::CircuitModel& tiny_model() {
+  static const netlist::GeneratedCircuit circuit = [] {
+    netlist::GeneratorSpec s;
+    s.num_flip_flops = 50;
+    s.num_gates = 600;
+    s.num_buffers = 2;
+    s.num_critical_paths = 16;
+    s.seed = 11;
+    return netlist::generate_circuit(s);
+  }();
+  static const netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  static const timing::CircuitModel model(circuit.netlist, lib,
+                                          circuit.buffered_ffs);
+  return model;
+}
+
+TEST(TunableBuffer, StepGrid) {
+  const TunableBuffer b{0, -10.0, 20.0, 21};
+  EXPECT_DOUBLE_EQ(b.step_size(), 1.0);
+  EXPECT_DOUBLE_EQ(b.value(0), -10.0);
+  EXPECT_DOUBLE_EQ(b.value(20), 10.0);
+  EXPECT_DOUBLE_EQ(b.value(10), 0.0);
+}
+
+TEST(TunableBuffer, NearestStepClamps) {
+  const TunableBuffer b{0, -10.0, 20.0, 21};
+  EXPECT_EQ(b.nearest_step(0.4), 10);
+  EXPECT_EQ(b.nearest_step(0.6), 11);
+  EXPECT_EQ(b.nearest_step(-100.0), 0);
+  EXPECT_EQ(b.nearest_step(100.0), 20);
+  EXPECT_EQ(b.neutral_step(), 10);
+}
+
+TEST(Problem, PaperBufferRanges) {
+  const Problem p(tiny_model());
+  ASSERT_EQ(p.num_buffers(), 2u);
+  const double t0 = p.reference_period();
+  EXPECT_GT(t0, 0.0);
+  for (const TunableBuffer& b : p.buffers()) {
+    EXPECT_NEAR(b.tau, t0 / 8.0, 1e-9);         // tau = T/8 (ref. [19])
+    EXPECT_NEAR(b.r, -t0 / 16.0, 1e-9);         // centered on zero
+    EXPECT_EQ(b.steps, 20);                     // 20 discrete values
+  }
+}
+
+TEST(Problem, ExplicitReferencePeriod) {
+  const Problem p(tiny_model(), 400.0, 10);
+  EXPECT_DOUBLE_EQ(p.reference_period(), 400.0);
+  EXPECT_DOUBLE_EQ(p.buffers()[0].tau, 50.0);
+  EXPECT_EQ(p.buffers()[0].steps, 10);
+}
+
+TEST(Problem, RejectsSillyStepCounts) {
+  EXPECT_THROW(Problem(tiny_model(), 0.0, 1), std::invalid_argument);
+}
+
+TEST(Problem, PairBufferMapping) {
+  const Problem p(tiny_model());
+  const auto& model = p.model();
+  for (std::size_t i = 0; i < model.num_pairs(); ++i) {
+    const auto& pair = model.pairs()[i];
+    EXPECT_EQ(p.src_buffer(i), model.buffer_index(pair.src_ff));
+    EXPECT_EQ(p.dst_buffer(i), model.buffer_index(pair.dst_ff));
+    EXPECT_TRUE(p.src_buffer(i) >= 0 || p.dst_buffer(i) >= 0);
+  }
+}
+
+TEST(Problem, PairSkewComputation) {
+  const Problem p(tiny_model());
+  std::vector<int> steps = p.neutral_steps();
+  // Find a pair with a source buffer.
+  for (std::size_t i = 0; i < p.model().num_pairs(); ++i) {
+    if (p.src_buffer(i) >= 0 && p.dst_buffer(i) < 0) {
+      const auto b = static_cast<std::size_t>(p.src_buffer(i));
+      steps[b] = 0;
+      EXPECT_DOUBLE_EQ(p.pair_skew(i, steps), p.buffers()[b].value(0));
+      steps[b] = 19;
+      EXPECT_DOUBLE_EQ(p.pair_skew(i, steps), p.buffers()[b].value(19));
+      return;
+    }
+  }
+  FAIL() << "no src-buffered pair found";
+}
+
+TEST(Problem, NeutralStepsNearZero) {
+  const Problem p(tiny_model());
+  const std::vector<int> steps = p.neutral_steps();
+  for (std::size_t b = 0; b < p.num_buffers(); ++b) {
+    const double x = p.buffers()[b].value(steps[b]);
+    EXPECT_LE(std::abs(x), p.buffers()[b].step_size());
+  }
+}
+
+}  // namespace
+}  // namespace effitest::core

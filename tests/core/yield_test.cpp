@@ -1,0 +1,149 @@
+#include "core/yield.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "netlist/generator.hpp"
+#include "stats/distributions.hpp"
+
+namespace effitest::core {
+namespace {
+
+struct Fixture {
+  netlist::GeneratedCircuit circuit;
+  netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  timing::CircuitModel model;
+  Problem problem;
+
+  Fixture()
+      : circuit(netlist::generate_circuit([] {
+          netlist::GeneratorSpec s;
+          s.num_flip_flops = 70;
+          s.num_gates = 800;
+          s.num_buffers = 3;
+          s.num_critical_paths = 18;
+          s.seed = 29;
+          return s;
+        }())),
+        model(circuit.netlist, lib, circuit.buffered_ffs),
+        problem(model) {}
+};
+
+TEST(BufferValues, MapsStepsToPs) {
+  Fixture f;
+  std::vector<int> steps(f.problem.num_buffers(), 0);
+  const std::vector<double> x = buffer_values(f.problem, steps);
+  for (std::size_t b = 0; b < x.size(); ++b) {
+    EXPECT_DOUBLE_EQ(x[b], f.problem.buffers()[b].r);
+  }
+  EXPECT_THROW(buffer_values(f.problem, std::vector<int>{0}),
+               std::invalid_argument);
+}
+
+TEST(ChipPasses, GenerousPeriodPasses) {
+  Fixture f;
+  stats::Rng rng(1);
+  const timing::Chip chip = f.model.sample_chip(rng);
+  const double td = untuned_required_period(f.problem, chip) + 1.0;
+  EXPECT_TRUE(chip_passes_untuned(f.problem, chip, td));
+}
+
+TEST(ChipPasses, TightPeriodFails) {
+  Fixture f;
+  stats::Rng rng(2);
+  const timing::Chip chip = f.model.sample_chip(rng);
+  const double td = untuned_required_period(f.problem, chip) - 1.0;
+  EXPECT_FALSE(chip_passes_untuned(f.problem, chip, td));
+}
+
+TEST(ChipPasses, SkewShiftsPassFail) {
+  Fixture f;
+  stats::Rng rng(3);
+  const timing::Chip chip = f.model.sample_chip(rng);
+  // Find the binding pair and a buffer on it.
+  std::size_t worst = 0;
+  for (std::size_t p = 1; p < f.model.num_pairs(); ++p) {
+    if (chip.max_delay[p] > chip.max_delay[worst]) worst = p;
+  }
+  const double td = chip.max_delay[worst] + 0.001;
+  ASSERT_TRUE(chip_passes_untuned(f.problem, chip, td));
+  // Worsen the binding pair's skew by one buffer range: must now fail.
+  std::vector<double> x(f.problem.num_buffers(), 0.0);
+  const int sb = f.problem.src_buffer(worst);
+  const int db = f.problem.dst_buffer(worst);
+  ASSERT_TRUE(sb >= 0 || db >= 0);
+  if (sb >= 0) {
+    x[static_cast<std::size_t>(sb)] = 1.0;  // +1ps launch delay
+  } else {
+    x[static_cast<std::size_t>(db)] = -1.0;
+  }
+  EXPECT_FALSE(chip_passes(f.problem, chip, x, td));
+}
+
+TEST(ChipPasses, HoldViolationDetected) {
+  Fixture f;
+  stats::Rng rng(4);
+  const timing::Chip chip = f.model.sample_chip(rng);
+  const double td = untuned_required_period(f.problem, chip) + 100.0;
+  ASSERT_TRUE(chip_passes_untuned(f.problem, chip, td));
+  // Find a pair whose destination is buffered and push its capture clock
+  // late enough to break hold: x_i - x_j < h - d_min.
+  const double h = f.model.hold_time();
+  for (std::size_t p = 0; p < f.model.num_pairs(); ++p) {
+    const int db = f.problem.dst_buffer(p);
+    if (db < 0 || f.problem.src_buffer(p) >= 0) continue;
+    const double margin = chip.min_delay[p] - h;  // x_dst may be at most this
+    std::vector<double> x(f.problem.num_buffers(), 0.0);
+    x[static_cast<std::size_t>(db)] = margin + 1.0;
+    EXPECT_FALSE(chip_passes(f.problem, chip, x, td));
+    return;
+  }
+  GTEST_SKIP() << "no dst-only buffered pair";
+}
+
+TEST(UntunedRequiredPeriod, IsMaxDelay) {
+  Fixture f;
+  stats::Rng rng(5);
+  const timing::Chip chip = f.model.sample_chip(rng);
+  const double req = untuned_required_period(f.problem, chip);
+  const double direct =
+      *std::max_element(chip.max_delay.begin(), chip.max_delay.end());
+  EXPECT_GE(req, direct);
+  EXPECT_TRUE(chip_passes_untuned(f.problem, chip, req + 1e-6) ||
+              req > direct /* hold-limited */);
+}
+
+TEST(PeriodQuantile, MedianGivesHalfYield) {
+  Fixture f;
+  stats::Rng rng(6);
+  const double t1 = period_quantile(f.problem, 0.5, 1500, rng);
+  // Evaluate untuned yield at T1 on an independent sample.
+  stats::Rng eval(7);
+  int pass = 0;
+  const int chips = 1500;
+  for (int c = 0; c < chips; ++c) {
+    const timing::Chip chip = f.model.sample_chip(eval);
+    if (chip_passes_untuned(f.problem, chip, t1)) ++pass;
+  }
+  const double yield = static_cast<double>(pass) / chips;
+  EXPECT_NEAR(yield, 0.5, 0.05);
+}
+
+TEST(PeriodQuantile, MonotoneInQ) {
+  Fixture f;
+  stats::Rng r1(8);
+  stats::Rng r2(8);
+  const double t50 = period_quantile(f.problem, 0.5, 800, r1);
+  const double t84 = period_quantile(f.problem, 0.8413, 800, r2);
+  EXPECT_LT(t50, t84);
+}
+
+TEST(PeriodQuantile, ZeroChipsThrows) {
+  Fixture f;
+  stats::Rng rng(9);
+  EXPECT_THROW(period_quantile(f.problem, 0.5, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace effitest::core

@@ -1,0 +1,146 @@
+#include "linalg/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/matrix.hpp"
+
+namespace effitest::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = dist(rng);
+  }
+  // A A^T + n I is SPD.
+  Matrix spd = a * a.transposed();
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(Cholesky, FactorReconstructs2x2) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const Cholesky ch = cholesky(a);
+  const Matrix recon = ch.l * ch.l.transposed();
+  EXPECT_TRUE(recon.approx_equal(a, 1e-12));
+}
+
+TEST(Cholesky, LowerTriangular) {
+  const Cholesky ch = cholesky(random_spd(5, 1));
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = r + 1; c < 5; ++c) {
+      EXPECT_DOUBLE_EQ(ch.l(r, c), 0.0);
+    }
+  }
+}
+
+TEST(Cholesky, NonSpdThrows) {
+  const Matrix not_spd{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(not_spd), LinalgError);
+}
+
+TEST(Cholesky, NonSquareThrows) {
+  EXPECT_THROW(cholesky(Matrix(2, 3)), LinalgError);
+}
+
+TEST(Cholesky, JitterRescuesNearSingular) {
+  // Rank-1 matrix: singular, but jitter regularization must succeed.
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_THROW(cholesky(a, 0.0), LinalgError);
+  EXPECT_NO_THROW(cholesky(a, 1e-8));
+}
+
+TEST(Cholesky, SolveMatchesDirect) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const std::vector<double> b{10.0, 8.0};
+  const std::vector<double> x = cholesky(a).solve(b);
+  const std::vector<double> back = a * x;
+  EXPECT_NEAR(back[0], b[0], 1e-10);
+  EXPECT_NEAR(back[1], b[1], 1e-10);
+}
+
+TEST(Cholesky, SolveMatrixRhs) {
+  const Matrix a = random_spd(4, 7);
+  const Matrix b(4, 2, 1.0);
+  const Matrix x = cholesky(a).solve(b);
+  EXPECT_TRUE((a * x).approx_equal(b, 1e-9));
+}
+
+TEST(Cholesky, LogDetMatchesKnown) {
+  const Matrix a{{4.0, 0.0}, {0.0, 9.0}};
+  EXPECT_NEAR(cholesky(a).log_det(), std::log(36.0), 1e-12);
+}
+
+TEST(TriangularSolves, ForwardBackwardRoundTrip) {
+  const Matrix a = random_spd(6, 3);
+  const Cholesky ch = cholesky(a);
+  std::vector<double> b(6);
+  for (std::size_t i = 0; i < 6; ++i) b[i] = static_cast<double>(i) - 2.0;
+  const std::vector<double> y = forward_substitute(ch.l, b);
+  const std::vector<double> x = backward_substitute(ch.l, y);
+  const std::vector<double> back = a * x;
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(back[i], b[i], 1e-9);
+}
+
+TEST(TriangularSolves, SizeMismatchThrows) {
+  const Matrix l = Matrix::identity(3);
+  const std::vector<double> b{1.0};
+  EXPECT_THROW(forward_substitute(l, b), LinalgError);
+  EXPECT_THROW(backward_substitute(l, b), LinalgError);
+}
+
+TEST(SolveSpd, VectorAndMatrixForms) {
+  const Matrix a = random_spd(5, 11);
+  std::vector<double> b(5, 1.0);
+  const std::vector<double> x = solve_spd(a, b);
+  const std::vector<double> back = a * x;
+  for (double v : back) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(InverseSpd, MultipliesToIdentity) {
+  const Matrix a = random_spd(5, 13);
+  const Matrix inv = inverse_spd(a);
+  EXPECT_TRUE((a * inv).approx_equal(Matrix::identity(5), 1e-8));
+}
+
+TEST(SolveGeneral, NonSymmetricSystem) {
+  const Matrix a{{0.0, 2.0}, {1.0, 0.0}};  // needs pivoting
+  const std::vector<double> b{4.0, 3.0};
+  const std::vector<double> x = solve_general(a, b);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveGeneral, SingularThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(solve_general(a, {1.0, 1.0}), LinalgError);
+}
+
+class CholeskyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CholeskyPropertyTest, RandomSpdRoundTrip) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 3 + seed % 8;
+  const Matrix a = random_spd(n, seed);
+  const Cholesky ch = cholesky(a);
+  EXPECT_TRUE((ch.l * ch.l.transposed()).approx_equal(a, 1e-8));
+
+  std::mt19937_64 rng(seed ^ 0xabcdef);
+  std::normal_distribution<double> dist;
+  std::vector<double> b(n);
+  for (double& v : b) v = dist(rng);
+  const std::vector<double> x = ch.solve(b);
+  const std::vector<double> back = a * x;
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], b[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CholeskyPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace effitest::linalg

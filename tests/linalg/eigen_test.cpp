@@ -1,0 +1,110 @@
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace effitest::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r; c < n; ++c) {
+      a(r, c) = dist(rng);
+      a(c, r) = a(r, c);
+    }
+  }
+  return a;
+}
+
+TEST(EigenSymmetric, DiagonalMatrix) {
+  const std::vector<double> d{3.0, 1.0, 2.0};
+  const EigenDecomposition e = eigen_symmetric(Matrix::diagonal(d));
+  ASSERT_EQ(e.values.size(), 3u);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-12);
+}
+
+TEST(EigenSymmetric, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  const Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  const EigenDecomposition e = eigen_symmetric(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-10);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(e.vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(EigenSymmetric, ValuesSortedDescending) {
+  const EigenDecomposition e = eigen_symmetric(random_symmetric(8, 5));
+  for (std::size_t i = 1; i < e.values.size(); ++i) {
+    EXPECT_GE(e.values[i - 1], e.values[i]);
+  }
+}
+
+TEST(EigenSymmetric, NonSquareThrows) {
+  EXPECT_THROW(eigen_symmetric(Matrix(2, 3)), LinalgError);
+}
+
+TEST(EigenSymmetric, EmptyMatrix) {
+  const EigenDecomposition e = eigen_symmetric(Matrix());
+  EXPECT_TRUE(e.values.empty());
+}
+
+TEST(ComponentsForCoverage, PicksMinimalCount) {
+  EigenDecomposition e;
+  e.values = {8.0, 1.0, 1.0};  // total 10
+  EXPECT_EQ(e.components_for_coverage(0.79), 1u);
+  EXPECT_EQ(e.components_for_coverage(0.81), 2u);
+  EXPECT_EQ(e.components_for_coverage(1.0), 3u);
+}
+
+TEST(ComponentsForCoverage, IgnoresNegativeEigenvalues) {
+  EigenDecomposition e;
+  e.values = {5.0, -2.0};
+  EXPECT_EQ(e.components_for_coverage(0.99), 1u);
+}
+
+TEST(ComponentsForCoverage, AllZeroReturnsOne) {
+  EigenDecomposition e;
+  e.values = {0.0, 0.0};
+  EXPECT_EQ(e.components_for_coverage(0.9), 1u);
+}
+
+class EigenPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EigenPropertyTest, ReconstructionAndOrthogonality) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 2 + seed % 10;
+  const Matrix a = random_symmetric(n, seed);
+  const EigenDecomposition e = eigen_symmetric(a);
+
+  // V diag(values) V^T == A.
+  const Matrix lambda = Matrix::diagonal(e.values);
+  const Matrix recon = e.vectors * lambda * e.vectors.transposed();
+  EXPECT_TRUE(recon.approx_equal(a, 1e-7));
+
+  // V^T V == I.
+  EXPECT_TRUE((e.vectors.transposed() * e.vectors)
+                  .approx_equal(Matrix::identity(n), 1e-8));
+
+  // Trace preservation.
+  double trace_a = 0.0;
+  double sum_values = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace_a += a(i, i);
+    sum_values += e.values[i];
+  }
+  EXPECT_NEAR(trace_a, sum_values, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EigenPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace effitest::linalg

@@ -1,0 +1,201 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace effitest::lp {
+namespace {
+
+TEST(Simplex, TrivialBoundsOnlyMinimization) {
+  // min 2x - 3y with 0 <= x <= 4, 1 <= y <= 5: x = 0, y = 5.
+  Model m;
+  m.add_continuous(0.0, 4.0, 2.0);
+  m.add_continuous(1.0, 5.0, -3.0);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[0], 0.0, 1e-9);
+  EXPECT_NEAR(s.values[1], 5.0, 1e-9);
+  EXPECT_NEAR(s.objective, -15.0, 1e-9);
+}
+
+TEST(Simplex, ClassicTwoVariableLp) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Dantzig's example)
+  // optimum x = 2, y = 6, objective 36. We minimize the negation.
+  Model m;
+  const int x = m.add_continuous(0.0, kInf, -3.0);
+  const int y = m.add_continuous(0.0, kInf, -5.0);
+  m.add_constraint({{x, 1.0}}, Sense::kLessEqual, 4.0);
+  m.add_constraint({{y, 2.0}}, Sense::kLessEqual, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Sense::kLessEqual, 18.0);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], 2.0, 1e-8);
+  EXPECT_NEAR(s.values[y], 6.0, 1e-8);
+  EXPECT_NEAR(s.objective, -36.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + y s.t. x + y = 3, x,y >= 0 -> objective 3.
+  Model m;
+  const int x = m.add_continuous(0.0, kInf, 1.0);
+  const int y = m.add_continuous(0.0, kInf, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kEqual, 3.0);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualNeedsPhase1) {
+  // min x s.t. x >= 2.5 -> 2.5.
+  Model m;
+  const int x = m.add_continuous(0.0, kInf, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 2.5);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], 2.5, 1e-9);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  Model m;
+  const int x = m.add_continuous(0.0, 1.0, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  Model m;
+  m.add_continuous(0.0, kInf, -1.0);  // min -x, x unbounded above
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min |structure|: x free, constraint x >= -5 irrelevant; minimize x + 10
+  // via constraint x >= -5: optimum x = -5.
+  Model m;
+  const int x = m.add_continuous(-kInf, kInf, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, -5.0);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], -5.0, 1e-9);
+}
+
+TEST(Simplex, UpperBoundedOnlyVariable) {
+  // x in (-inf, 3], minimize -x -> x = 3.
+  Model m;
+  const int x = m.add_continuous(-kInf, 3.0, -1.0);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], 3.0, 1e-9);
+}
+
+TEST(Simplex, FixedVariable) {
+  Model m;
+  const int x = m.add_continuous(2.0, 2.0, 5.0);
+  const int y = m.add_continuous(0.0, kInf, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 6.0);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], 2.0, 1e-9);
+  EXPECT_NEAR(s.values[y], 4.0, 1e-9);
+}
+
+TEST(Simplex, NegativeRhsRowsNormalized) {
+  // -x <= -2  (i.e. x >= 2), min x -> 2.
+  Model m;
+  const int x = m.add_continuous(0.0, kInf, 1.0);
+  m.add_constraint({{x, -1.0}}, Sense::kLessEqual, -2.0);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], 2.0, 1e-9);
+}
+
+TEST(Simplex, RedundantConstraintsHandled) {
+  Model m;
+  const int x = m.add_continuous(0.0, kInf, 1.0);
+  m.add_constraint({{x, 1.0}}, Sense::kEqual, 4.0);
+  m.add_constraint({{x, 2.0}}, Sense::kEqual, 8.0);  // linearly dependent
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], 4.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic cycling-prone setup; Bland fallback must terminate.
+  Model m;
+  const int x1 = m.add_continuous(0.0, kInf, -0.75);
+  const int x2 = m.add_continuous(0.0, kInf, 150.0);
+  const int x3 = m.add_continuous(0.0, kInf, -0.02);
+  const int x4 = m.add_continuous(0.0, kInf, 6.0);
+  m.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                   Sense::kLessEqual, 0.0);
+  m.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                   Sense::kLessEqual, 0.0);
+  m.add_constraint({{x3, 1.0}}, Sense::kLessEqual, 1.0);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-6);
+}
+
+TEST(Simplex, EmptyModelIsOptimalZero) {
+  Model m;
+  const LpSolution s = solve_lp(m);
+  EXPECT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+TEST(Simplex, AbsoluteValueGadget) {
+  // min |c - t| via eta >= t - c, eta >= c - t with c = 7, t in [0, 5]:
+  // optimum t = 5, eta = 2.
+  Model m;
+  const int t = m.add_continuous(0.0, 5.0, 0.0);
+  const int eta = m.add_continuous(0.0, kInf, 1.0);
+  m.add_constraint({{t, 1.0}, {eta, -1.0}}, Sense::kLessEqual, 7.0);
+  m.add_constraint({{t, -1.0}, {eta, -1.0}}, Sense::kLessEqual, -7.0);
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[t], 5.0, 1e-9);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+// Property test: random bounded LPs — the simplex optimum must be feasible
+// and at least as good as a large random feasible sample.
+class SimplexPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexPropertyTest, BeatsRandomFeasiblePoints) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> coeff(-2.0, 2.0);
+  std::uniform_int_distribution<int> size(1, 4);
+
+  const int n = size(rng);
+  const int rows = size(rng);
+  Model m;
+  for (int j = 0; j < n; ++j) {
+    m.add_continuous(0.0, 3.0, coeff(rng));
+  }
+  // Constraints sum a_j x_j <= b with b >= 0 keep x = 0 feasible.
+  std::uniform_real_distribution<double> rhs(0.5, 6.0);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) terms.push_back({j, coeff(rng)});
+    m.add_constraint(std::move(terms), Sense::kLessEqual, rhs(rng));
+  }
+
+  const LpSolution s = solve_lp(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_LT(m.max_violation(s.values), 1e-7);
+
+  std::uniform_real_distribution<double> point(0.0, 3.0);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (double& v : x) v = point(rng);
+    if (m.max_violation(x) > 1e-9) continue;
+    EXPECT_LE(s.objective, m.objective_value(x) + 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace effitest::lp

@@ -1,0 +1,174 @@
+#include "lp/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace effitest::lp {
+namespace {
+
+TEST(Milp, PureLpDelegation) {
+  Model m;
+  m.add_continuous(0.0, 2.0, -1.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_EQ(s.nodes, 0);
+  EXPECT_NEAR(s.objective, -2.0, 1e-9);
+}
+
+TEST(Milp, SimpleKnapsack) {
+  // max 5a + 4b + 3c s.t. 2a + 3b + c <= 5, binaries.
+  // optimum: a = 1, c = 1 (value 8); b would exceed capacity with both.
+  Model m;
+  const int a = m.add_binary(-5.0);
+  const int b = m.add_binary(-4.0);
+  const int c = m.add_binary(-3.0);
+  m.add_constraint({{a, 2.0}, {b, 3.0}, {c, 1.0}}, Sense::kLessEqual, 5.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -9.0, 1e-6);  // a=1,b=0,c=1 gives 8; a=1,b=1 needs 5 -> 2+3=5 ok! 5+4=9
+  EXPECT_NEAR(s.values[a], 1.0, 1e-6);
+  EXPECT_NEAR(s.values[b], 1.0, 1e-6);
+  EXPECT_NEAR(s.values[c], 0.0, 1e-6);
+}
+
+TEST(Milp, IntegerRounding) {
+  // min -x s.t. 2x <= 7, x integer -> x = 3 (LP relaxation 3.5).
+  Model m;
+  const int x = m.add_integer(0.0, 10.0, -1.0);
+  m.add_constraint({{x, 2.0}}, Sense::kLessEqual, 7.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], 3.0, 1e-6);
+}
+
+TEST(Milp, InfeasibleIntegerGap) {
+  // 0.5 <= x <= 0.9 has continuous solutions but no integer one.
+  Model m;
+  m.add_integer(0.5, 0.9, 1.0);
+  EXPECT_EQ(solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Milp, MixedIntegerContinuous) {
+  // min x + y, x integer, x + y >= 2.3, y <= 0.4 -> x = 2, y = 0.3.
+  Model m;
+  const int x = m.add_integer(0.0, 10.0, 1.0);
+  const int y = m.add_continuous(0.0, 0.4, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Sense::kGreaterEqual, 2.3);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[x], 2.0, 1e-6);
+  EXPECT_NEAR(s.values[y], 0.3, 1e-6);
+  EXPECT_NEAR(s.objective, 2.3, 1e-6);
+}
+
+TEST(Milp, EqualityWithIntegers) {
+  // 3x + 5y = 14 over nonneg integers: no solution with x,y <= 2;
+  // x = 3, y = 1 works.
+  Model m;
+  const int x = m.add_integer(0.0, 10.0, 1.0);
+  const int y = m.add_integer(0.0, 10.0, 1.0);
+  m.add_constraint({{x, 3.0}, {y, 5.0}}, Sense::kEqual, 14.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(3.0 * s.values[x] + 5.0 * s.values[y], 14.0, 1e-6);
+  EXPECT_NEAR(s.objective, 4.0, 1e-6);  // x=3,y=1
+}
+
+TEST(Milp, NodeLimitReturnsIncumbentIfAny) {
+  Model m;
+  for (int i = 0; i < 8; ++i) m.add_binary(-1.0);
+  SolveOptions opts;
+  opts.max_nodes = 1;  // root only; heuristic may still find an incumbent
+  const Solution s = solve(m, opts);
+  // Root relaxation of a box problem is already integral -> optimal.
+  EXPECT_TRUE(s.status == SolveStatus::kOptimal ||
+              s.status == SolveStatus::kNodeLimit);
+}
+
+TEST(Milp, BigMIndicatorPattern) {
+  // The alignment ILP uses big-M rows; exercise the pattern:
+  // z binary, x - 10 z <= 0, x >= 1.5 -> z must be 1.
+  Model m;
+  const int x = m.add_continuous(0.0, 8.0, 1.0);
+  const int z = m.add_binary(100.0);  // expensive, prefer 0
+  m.add_constraint({{x, 1.0}, {z, -10.0}}, Sense::kLessEqual, 0.0);
+  m.add_constraint({{x, 1.0}}, Sense::kGreaterEqual, 1.5);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[z], 1.0, 1e-6);
+  EXPECT_NEAR(s.values[x], 1.5, 1e-6);
+}
+
+/// Brute-force MILP oracle over the integer grid (continuous vars must be
+/// absent). Returns the best objective or NaN when infeasible.
+double brute_force_integer(const Model& m) {
+  const std::size_t n = m.num_variables();
+  std::vector<int> lo(n);
+  std::vector<int> hi(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    lo[j] = static_cast<int>(std::ceil(m.variable(static_cast<int>(j)).lower));
+    hi[j] = static_cast<int>(std::floor(m.variable(static_cast<int>(j)).upper));
+  }
+  std::vector<double> x(n);
+  double best = std::numeric_limits<double>::quiet_NaN();
+  const auto recurse = [&](auto&& self, std::size_t j) -> void {
+    if (j == n) {
+      if (m.max_violation(x) < 1e-9) {
+        const double obj = m.objective_value(x);
+        if (std::isnan(best) || obj < best) best = obj;
+      }
+      return;
+    }
+    for (int v = lo[j]; v <= hi[j]; ++v) {
+      x[j] = v;
+      self(self, j + 1);
+    }
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+class MilpPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MilpPropertyTest, MatchesBruteForceOnRandomInstances) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> coeff(-3.0, 3.0);
+  std::uniform_int_distribution<int> nvars(1, 4);
+  std::uniform_int_distribution<int> nrows(0, 3);
+  std::uniform_real_distribution<double> rhs(-2.0, 8.0);
+
+  const int n = nvars(rng);
+  Model m;
+  for (int j = 0; j < n; ++j) m.add_integer(0.0, 4.0, coeff(rng));
+  const int rows = nrows(rng);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    for (int j = 0; j < n; ++j) terms.push_back({j, coeff(rng)});
+    m.add_constraint(std::move(terms),
+                     (r % 2 == 0) ? Sense::kLessEqual : Sense::kGreaterEqual,
+                     rhs(rng));
+  }
+
+  const double oracle = brute_force_integer(m);
+  const Solution s = solve(m);
+  if (std::isnan(oracle)) {
+    EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+  } else {
+    ASSERT_EQ(s.status, SolveStatus::kOptimal)
+        << "expected optimum " << oracle;
+    EXPECT_NEAR(s.objective, oracle, 1e-6);
+    EXPECT_LT(m.max_violation(s.values), 1e-6);
+    for (int j = 0; j < n; ++j) {
+      const double v = s.values[static_cast<std::size_t>(j)];
+      EXPECT_NEAR(v, std::round(v), 1e-6) << "non-integral variable " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace effitest::lp

@@ -1,0 +1,156 @@
+#include "netlist/bench_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace effitest::netlist {
+namespace {
+
+// A small s27-style sequential circuit in ISCAS89 format.
+constexpr const char* kSmallBench = R"(
+# toy sequential benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G8  = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9  = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G3  = BUFF(G0)
+G17 = NOT(G11)
+)";
+
+TEST(BenchParser, ParsesSmallCircuit) {
+  const Netlist nl = parse_bench_string(kSmallBench, "toy");
+  EXPECT_EQ(nl.name(), "toy");
+  EXPECT_EQ(nl.primary_inputs().size(), 3u);
+  EXPECT_EQ(nl.num_flip_flops(), 3u);
+  EXPECT_EQ(nl.num_combinational_gates(), 11u);
+  EXPECT_TRUE(nl.cell(nl.find("G17")).is_primary_output);
+}
+
+TEST(BenchParser, GateTypesAndFanins) {
+  const Netlist nl = parse_bench_string(kSmallBench);
+  const Cell& g8 = nl.cell(nl.find("G8"));
+  EXPECT_EQ(g8.type, CellType::kAnd);
+  ASSERT_EQ(g8.fanins.size(), 2u);
+  EXPECT_EQ(g8.fanins[0], nl.find("G14"));
+  EXPECT_EQ(g8.fanins[1], nl.find("G6"));
+  const Cell& dff = nl.cell(nl.find("G5"));
+  EXPECT_EQ(dff.type, CellType::kDff);
+  ASSERT_EQ(dff.fanins.size(), 1u);
+  EXPECT_EQ(dff.fanins[0], nl.find("G10"));
+}
+
+TEST(BenchParser, ForwardReferencesResolved) {
+  // G5 = DFF(G10) appears before G10 is defined.
+  EXPECT_NO_THROW(parse_bench_string(kSmallBench));
+}
+
+TEST(BenchParser, CommentsAndBlankLinesIgnored) {
+  const Netlist nl = parse_bench_string(
+      "# only comments\n\nINPUT(a)  # trailing comment\n\nb = BUF(a)\n");
+  EXPECT_EQ(nl.num_cells(), 2u);
+}
+
+TEST(BenchParser, PositionsAssigned) {
+  const Netlist nl = parse_bench_string(kSmallBench);
+  // Deeper gates sit further right than primary inputs.
+  const Point pi = nl.cell(nl.find("G0")).position;
+  const Point deep = nl.cell(nl.find("G9")).position;
+  EXPECT_GT(deep.x, pi.x);
+  for (const Cell& c : nl.cells()) {
+    EXPECT_GE(c.position.x, 0.0);
+    EXPECT_LE(c.position.x, 1.0);
+    EXPECT_GE(c.position.y, 0.0);
+    EXPECT_LE(c.position.y, 1.0);
+  }
+}
+
+TEST(BenchParser, UndefinedSignalThrows) {
+  EXPECT_THROW(parse_bench_string("a = NOT(ghost)\n"), BenchParseError);
+}
+
+TEST(BenchParser, UnknownTypeThrows) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nb = FROB(a)\n"), BenchParseError);
+}
+
+TEST(BenchParser, DuplicateDefinitionThrows) {
+  EXPECT_THROW(
+      parse_bench_string("INPUT(a)\nb = NOT(a)\nb = BUF(a)\n"),
+      BenchParseError);
+}
+
+TEST(BenchParser, MalformedLineThrows) {
+  EXPECT_THROW(parse_bench_string("INPUT a\n"), BenchParseError);
+  EXPECT_THROW(parse_bench_string("x = NOT a)\n"), BenchParseError);
+  EXPECT_THROW(parse_bench_string("x = NOT()\n"), BenchParseError);
+}
+
+TEST(BenchParser, UndefinedOutputThrows) {
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(ghost)\nb = NOT(a)\n"),
+               BenchParseError);
+}
+
+TEST(BenchParser, ErrorCarriesLineNumber) {
+  try {
+    parse_bench_string("INPUT(a)\nx = FROB(a)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line_number, 2u);
+  }
+}
+
+TEST(BenchParser, MissingFileThrows) {
+  EXPECT_THROW(parse_bench_file("/nonexistent/file.bench"), NetlistError);
+}
+
+TEST(BenchParser, ValidatedResult) {
+  const Netlist nl = parse_bench_string(kSmallBench);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+// Robustness sweep: mangled inputs must raise a structured error (never
+// crash or silently mis-parse).
+class BenchParserFuzzTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BenchParserFuzzTest, MalformedInputsThrowCleanly) {
+  EXPECT_THROW(
+      {
+        try {
+          (void)parse_bench_string(GetParam());
+        } catch (const BenchParseError&) {
+          throw;
+        } catch (const NetlistError&) {
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BenchParserFuzzTest,
+    ::testing::Values(
+        "G1 = (G0)\n",                       // missing type
+        "INPUT(a)\na = NOT(a)\n",            // duplicate & self definition
+        "INPUT(a)\nx = DFF(a, a)\n",         // DFF arity
+        "INPUT(a)\n= NOT(a)\n",              // missing lhs
+        "OUTPUT()\n",                        // empty output
+        "INPUT(a)\nx = AND(a)\n",            // AND arity
+        "INPUT(a)\nx = NOT(a\n",             // unclosed paren
+        "x = NOT(y)\ny = NOT(x)\n",          // combinational cycle
+        "INPUT(a)\nx = NOT(,)\n",            // empty args
+        "garbage line\n"));                  // no structure at all
+
+}  // namespace
+}  // namespace effitest::netlist

@@ -1,0 +1,73 @@
+#include "netlist/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace effitest::netlist {
+namespace {
+
+TEST(CellType, TokenParsingCaseInsensitive) {
+  EXPECT_EQ(cell_type_from_token("NAND"), CellType::kNand);
+  EXPECT_EQ(cell_type_from_token("nand"), CellType::kNand);
+  EXPECT_EQ(cell_type_from_token("Dff"), CellType::kDff);
+  EXPECT_EQ(cell_type_from_token("BUFF"), CellType::kBuf);
+  EXPECT_EQ(cell_type_from_token("BUF"), CellType::kBuf);
+  EXPECT_EQ(cell_type_from_token("INV"), CellType::kNot);
+  EXPECT_EQ(cell_type_from_token("NOT"), CellType::kNot);
+  EXPECT_EQ(cell_type_from_token("XNOR"), CellType::kXnor);
+  EXPECT_EQ(cell_type_from_token("bogus"), std::nullopt);
+}
+
+TEST(CellType, RoundTripThroughString) {
+  for (CellType t : {CellType::kInput, CellType::kOutput, CellType::kDff,
+                     CellType::kBuf, CellType::kNot, CellType::kAnd,
+                     CellType::kNand, CellType::kOr, CellType::kNor,
+                     CellType::kXor, CellType::kXnor}) {
+    EXPECT_EQ(cell_type_from_token(std::string(to_string(t))), t);
+  }
+}
+
+TEST(CellType, IsCombinational) {
+  EXPECT_FALSE(is_combinational(CellType::kInput));
+  EXPECT_FALSE(is_combinational(CellType::kOutput));
+  EXPECT_FALSE(is_combinational(CellType::kDff));
+  EXPECT_TRUE(is_combinational(CellType::kNand));
+  EXPECT_TRUE(is_combinational(CellType::kBuf));
+}
+
+TEST(CellLibrary, StandardDelaysPositiveForGates) {
+  const CellLibrary lib = CellLibrary::standard();
+  for (CellType t : {CellType::kDff, CellType::kBuf, CellType::kNot,
+                     CellType::kAnd, CellType::kNand, CellType::kOr,
+                     CellType::kNor, CellType::kXor, CellType::kXnor}) {
+    EXPECT_GT(lib.timing(t).nominal_delay_ps, 0.0);
+    EXPECT_GT(lib.timing(t).sens_length, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(lib.timing(CellType::kInput).nominal_delay_ps, 0.0);
+}
+
+TEST(CellLibrary, SequentialMargins) {
+  const CellLibrary lib = CellLibrary::standard();
+  EXPECT_GT(lib.dff_setup_ps(), 0.0);
+  EXPECT_GT(lib.dff_hold_ps(), 0.0);
+  EXPECT_GT(lib.dff_clk_to_q_ps(), 0.0);
+}
+
+TEST(CellLibrary, GateSigmaAroundSixPercent) {
+  // DESIGN.md calibration: total delay sigma ~6% of nominal under the
+  // paper's parameter sigmas.
+  const CellLibrary lib = CellLibrary::standard();
+  for (CellType t : {CellType::kNand, CellType::kNot, CellType::kAnd}) {
+    const CellTiming& c = lib.timing(t);
+    const double var = c.sens_length * 0.157 * c.sens_length * 0.157 +
+                       c.sens_tox * 0.053 * c.sens_tox * 0.053 +
+                       c.sens_vth * 0.044 * c.sens_vth * 0.044;
+    const double sigma_frac = std::sqrt(var);
+    EXPECT_GT(sigma_frac, 0.04);
+    EXPECT_LT(sigma_frac, 0.09);
+  }
+}
+
+}  // namespace
+}  // namespace effitest::netlist

@@ -1,0 +1,151 @@
+#include "netlist/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace effitest::netlist {
+namespace {
+
+GeneratorSpec tiny_spec() {
+  GeneratorSpec s;
+  s.name = "tiny";
+  s.num_flip_flops = 60;
+  s.num_gates = 700;
+  s.num_buffers = 2;
+  s.num_critical_paths = 20;
+  s.seed = 5;
+  return s;
+}
+
+TEST(Generator, MeetsRequestedCounts) {
+  const GeneratedCircuit c = generate_circuit(tiny_spec());
+  EXPECT_EQ(c.netlist.num_flip_flops(), 60u);
+  EXPECT_EQ(c.buffered_ffs.size(), 2u);
+  EXPECT_EQ(c.critical_edges.size(), 20u);
+  // Gate count is padded to the target (allow the chain-granularity slack).
+  EXPECT_GE(c.netlist.num_combinational_gates(), 700u);
+  EXPECT_LE(c.netlist.num_combinational_gates(), 700u + 25u);
+}
+
+TEST(Generator, DeterministicInSeed) {
+  const GeneratedCircuit a = generate_circuit(tiny_spec());
+  const GeneratedCircuit b = generate_circuit(tiny_spec());
+  EXPECT_EQ(a.netlist.num_cells(), b.netlist.num_cells());
+  EXPECT_EQ(a.critical_edges, b.critical_edges);
+  EXPECT_EQ(a.buffered_ffs, b.buffered_ffs);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorSpec s2 = tiny_spec();
+  s2.seed = 99;
+  const GeneratedCircuit a = generate_circuit(tiny_spec());
+  const GeneratedCircuit b = generate_circuit(s2);
+  EXPECT_NE(a.critical_edges, b.critical_edges);
+}
+
+TEST(Generator, CriticalEdgesTouchBuffers) {
+  const GeneratedCircuit c = generate_circuit(tiny_spec());
+  const std::set<int> hubs(c.buffered_ffs.begin(), c.buffered_ffs.end());
+  for (const auto& [src, dst] : c.critical_edges) {
+    EXPECT_TRUE(hubs.contains(src) || hubs.contains(dst))
+        << "edge " << src << "->" << dst << " touches no buffer";
+  }
+}
+
+TEST(Generator, CriticalEdgesUnique) {
+  const GeneratedCircuit c = generate_circuit(tiny_spec());
+  std::set<std::pair<int, int>> seen(c.critical_edges.begin(),
+                                     c.critical_edges.end());
+  EXPECT_EQ(seen.size(), c.critical_edges.size());
+}
+
+TEST(Generator, BufferedCellsAreFlipFlops) {
+  const GeneratedCircuit c = generate_circuit(tiny_spec());
+  for (int ff : c.buffered_ffs) {
+    EXPECT_EQ(c.netlist.cell(ff).type, CellType::kDff);
+  }
+}
+
+TEST(Generator, HoldEdgesAreSubsetOfCriticalEdges) {
+  GeneratorSpec s = tiny_spec();
+  s.hold_edge_fraction = 0.5;
+  const GeneratedCircuit c = generate_circuit(s);
+  const std::set<std::pair<int, int>> critical(c.critical_edges.begin(),
+                                               c.critical_edges.end());
+  EXPECT_FALSE(c.hold_edges.empty());
+  for (const auto& e : c.hold_edges) {
+    EXPECT_TRUE(critical.contains(e));
+  }
+}
+
+TEST(Generator, NetlistValidates) {
+  EXPECT_NO_THROW(generate_circuit(tiny_spec()).netlist.validate());
+}
+
+TEST(Generator, PositionsInsideDie) {
+  const GeneratedCircuit c = generate_circuit(tiny_spec());
+  for (const Cell& cell : c.netlist.cells()) {
+    EXPECT_GT(cell.position.x, 0.0);
+    EXPECT_LT(cell.position.x, 1.0);
+    EXPECT_GT(cell.position.y, 0.0);
+    EXPECT_LT(cell.position.y, 1.0);
+  }
+}
+
+TEST(Generator, RejectsInconsistentSpecs) {
+  GeneratorSpec s = tiny_spec();
+  s.num_buffers = 0;
+  EXPECT_THROW(generate_circuit(s), NetlistError);
+  s = tiny_spec();
+  s.num_buffers = s.num_flip_flops + 1;
+  EXPECT_THROW(generate_circuit(s), NetlistError);
+  s = tiny_spec();
+  s.num_critical_paths = 0;
+  EXPECT_THROW(generate_circuit(s), NetlistError);
+}
+
+TEST(Generator, RejectsOverfullNp) {
+  GeneratorSpec s = tiny_spec();
+  s.num_flip_flops = 10;
+  s.num_critical_paths = 500;  // cannot host distinct endpoints
+  EXPECT_THROW(generate_circuit(s), NetlistError);
+}
+
+TEST(PaperBenchmarks, AllEightRowsPresent) {
+  const std::vector<GeneratorSpec> specs = paper_benchmark_specs();
+  ASSERT_EQ(specs.size(), 8u);
+  EXPECT_EQ(specs[0].name, "s9234");
+  EXPECT_EQ(specs[7].name, "pci_bridge32");
+  // Spot-check Table 1 statistics.
+  EXPECT_EQ(specs[0].num_flip_flops, 211u);
+  EXPECT_EQ(specs[0].num_gates, 5597u);
+  EXPECT_EQ(specs[0].num_buffers, 2u);
+  EXPECT_EQ(specs[0].num_critical_paths, 80u);
+  EXPECT_EQ(specs[4].name, "mem_ctrl");
+  EXPECT_EQ(specs[4].num_critical_paths, 3016u);
+}
+
+TEST(PaperBenchmarks, LookupByName) {
+  const GeneratorSpec s = paper_benchmark_spec("usb_funct");
+  EXPECT_EQ(s.num_buffers, 17u);
+  EXPECT_THROW(paper_benchmark_spec("nonexistent"), NetlistError);
+}
+
+TEST(PaperBenchmarks, SmallRowsGenerate) {
+  // Generating the small ISCAS89 rows end-to-end must respect ns/np exactly.
+  for (const char* name : {"s9234", "s13207"}) {
+    const GeneratorSpec spec = paper_benchmark_spec(name);
+    const GeneratedCircuit c = generate_circuit(spec);
+    EXPECT_EQ(c.netlist.num_flip_flops(), spec.num_flip_flops) << name;
+    EXPECT_EQ(c.critical_edges.size(), spec.num_critical_paths) << name;
+    EXPECT_EQ(c.buffered_ffs.size(), spec.num_buffers) << name;
+    const double ng = static_cast<double>(c.netlist.num_combinational_gates());
+    EXPECT_NEAR(ng, static_cast<double>(spec.num_gates),
+                0.05 * static_cast<double>(spec.num_gates))
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace effitest::netlist

@@ -1,0 +1,144 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace effitest::netlist {
+namespace {
+
+Netlist small_pipeline() {
+  // pi -> g1 -> ff1 -> g2 -> ff2
+  Netlist nl("pipe");
+  const int pi = nl.add_cell("pi", CellType::kInput);
+  const int g1 = nl.add_cell("g1", CellType::kBuf, {pi});
+  const int ff1 = nl.add_cell("ff1", CellType::kDff, {g1});
+  const int g2 = nl.add_cell("g2", CellType::kNot, {ff1});
+  nl.add_cell("ff2", CellType::kDff, {g2});
+  return nl;
+}
+
+TEST(Netlist, AddAndFind) {
+  Netlist nl;
+  const int id = nl.add_cell("a", CellType::kInput);
+  EXPECT_EQ(nl.find("a"), id);
+  EXPECT_EQ(nl.find("missing"), -1);
+}
+
+TEST(Netlist, DuplicateNameThrows) {
+  Netlist nl;
+  nl.add_cell("a", CellType::kInput);
+  EXPECT_THROW(nl.add_cell("a", CellType::kInput), NetlistError);
+}
+
+TEST(Netlist, EmptyNameThrows) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_cell("", CellType::kInput), NetlistError);
+}
+
+TEST(Netlist, BadFaninThrows) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_cell("g", CellType::kBuf, {3}), NetlistError);
+}
+
+TEST(Netlist, CountsByKind) {
+  const Netlist nl = small_pipeline();
+  EXPECT_EQ(nl.num_cells(), 5u);
+  EXPECT_EQ(nl.num_flip_flops(), 2u);
+  EXPECT_EQ(nl.num_combinational_gates(), 2u);
+  EXPECT_EQ(nl.primary_inputs().size(), 1u);
+  EXPECT_EQ(nl.flip_flops().size(), 2u);
+}
+
+TEST(Netlist, Fanouts) {
+  const Netlist nl = small_pipeline();
+  const auto fan = nl.fanouts();
+  const int pi = nl.find("pi");
+  ASSERT_EQ(fan[static_cast<std::size_t>(pi)].size(), 1u);
+  EXPECT_EQ(fan[static_cast<std::size_t>(pi)][0], nl.find("g1"));
+}
+
+TEST(Netlist, TopologicalOrderRespectsDependencies) {
+  const Netlist nl = small_pipeline();
+  const std::vector<int> order = nl.topological_order();
+  ASSERT_EQ(order.size(), nl.num_cells());
+  std::vector<std::size_t> pos(nl.num_cells());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = i;
+  }
+  // g1 after pi; g2 after ff1.
+  EXPECT_GT(pos[static_cast<std::size_t>(nl.find("g1"))],
+            pos[static_cast<std::size_t>(nl.find("pi"))]);
+  EXPECT_GT(pos[static_cast<std::size_t>(nl.find("g2"))],
+            pos[static_cast<std::size_t>(nl.find("ff1"))]);
+}
+
+TEST(Netlist, DffBreaksCycles) {
+  // ff -> g -> ff (sequential loop) is legal.
+  Netlist nl;
+  const int ff = nl.add_cell("ff", CellType::kDff);
+  const int g = nl.add_cell("g", CellType::kNot, {ff});
+  nl.set_fanins(ff, {g});
+  EXPECT_NO_THROW(nl.topological_order());
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Netlist, CombinationalCycleDetected) {
+  Netlist nl;
+  const int a = nl.add_cell("a", CellType::kNot);
+  const int b = nl.add_cell("b", CellType::kNot, {a});
+  nl.set_fanins(a, {b});
+  EXPECT_THROW(nl.topological_order(), NetlistError);
+}
+
+TEST(Netlist, ValidateFaninArity) {
+  Netlist nl;
+  const int pi = nl.add_cell("pi", CellType::kInput);
+  nl.add_cell("bad_and", CellType::kAnd, {pi});  // needs >= 2
+  EXPECT_THROW(nl.validate(), NetlistError);
+}
+
+TEST(Netlist, ValidateDffArity) {
+  Netlist nl;
+  nl.add_cell("ff", CellType::kDff);  // no D input
+  EXPECT_THROW(nl.validate(), NetlistError);
+}
+
+TEST(Netlist, ValidateInputHasNoFanin) {
+  Netlist nl;
+  const int pi = nl.add_cell("pi", CellType::kInput);
+  const int g = nl.add_cell("g", CellType::kBuf, {pi});
+  Netlist nl2;
+  const int x = nl2.add_cell("x", CellType::kBuf);
+  (void)g;
+  (void)x;
+  // Give the INPUT a fanin through set_fanins and expect validate to fail.
+  Netlist nl3;
+  const int a = nl3.add_cell("a", CellType::kInput);
+  const int bgate = nl3.add_cell("b", CellType::kBuf, {a});
+  nl3.set_fanins(a, {bgate});
+  EXPECT_THROW(nl3.validate(), NetlistError);
+}
+
+TEST(Netlist, PositionsStored) {
+  Netlist nl;
+  const int id = nl.add_cell("a", CellType::kInput, {}, Point{0.25, 0.75});
+  EXPECT_DOUBLE_EQ(nl.cell(id).position.x, 0.25);
+  nl.set_position(id, Point{0.5, 0.5});
+  EXPECT_DOUBLE_EQ(nl.cell(id).position.y, 0.5);
+}
+
+TEST(Netlist, PrimaryOutputFlag) {
+  Netlist nl = small_pipeline();
+  const int g2 = nl.find("g2");
+  EXPECT_FALSE(nl.cell(g2).is_primary_output);
+  nl.mark_primary_output(g2);
+  EXPECT_TRUE(nl.cell(g2).is_primary_output);
+}
+
+TEST(Netlist, ValidatePasses) {
+  EXPECT_NO_THROW(small_pipeline().validate());
+}
+
+}  // namespace
+}  // namespace effitest::netlist

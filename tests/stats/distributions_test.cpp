@@ -1,0 +1,145 @@
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace effitest::stats {
+namespace {
+
+TEST(NormalPdf, StandardValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-12);
+  EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-15);
+}
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.0), 1.0 - normal_cdf(1.0), 1e-12);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-10);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownPoints) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-10);
+  EXPECT_NEAR(normal_quantile(0.8413447460685429), 1.0, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.99), 2.3263478740408408, 1e-8);
+}
+
+TEST(NormalQuantile, DomainChecked) {
+  EXPECT_THROW(static_cast<void>(normal_quantile(0.0)), std::domain_error);
+  EXPECT_THROW(static_cast<void>(normal_quantile(1.0)), std::domain_error);
+  EXPECT_THROW(static_cast<void>(normal_quantile(-0.5)), std::domain_error);
+}
+
+TEST(Descriptive, MeanVarianceStddev) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, EmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(static_cast<void>(mean(empty)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(variance(empty)), std::invalid_argument);
+}
+
+TEST(Descriptive, SingleSampleVarianceZero) {
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_NEAR(quantile(xs, 1.0 / 3.0), 2.0, 1e-12);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Quantile, BadInputsThrow) {
+  std::vector<double> xs{1.0};
+  EXPECT_THROW(static_cast<void>(quantile(xs, 1.5)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(quantile(std::vector<double>{}, 0.5)), std::invalid_argument);
+}
+
+TEST(Correlation, PerfectAndAnti) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{2.0, 4.0, 6.0};
+  EXPECT_NEAR(correlation(a, b), 1.0, 1e-12);
+  const std::vector<double> c{3.0, 2.0, 1.0};
+  EXPECT_NEAR(correlation(a, c), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesIsZero) {
+  const std::vector<double> a{1.0, 1.0, 1.0};
+  const std::vector<double> b{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(correlation(a, b), 0.0);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+  }
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(1, 3);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 1;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(7);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.normal();
+  EXPECT_NEAR(mean(xs), 0.0, 0.03);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.03);
+}
+
+TEST(Rng, ForkProducesDifferentStream) {
+  Rng a(11);
+  Rng b = a.fork();
+  bool differs = false;
+  for (int i = 0; i < 8; ++i) {
+    if (a.normal() != b.normal()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace effitest::stats

@@ -1,0 +1,85 @@
+#include "stats/multivariate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.hpp"
+
+namespace effitest::stats {
+namespace {
+
+TEST(MultivariateNormal, DimensionMismatchThrows) {
+  const linalg::Matrix cov = linalg::Matrix::identity(2);
+  EXPECT_THROW(MultivariateNormal({1.0, 2.0, 3.0}, cov),
+               std::invalid_argument);
+}
+
+TEST(MultivariateNormal, SampleMatchesMeanAndCovariance) {
+  const linalg::Matrix cov{{4.0, 1.2}, {1.2, 1.0}};
+  const std::vector<double> mu{10.0, -5.0};
+  const MultivariateNormal mvn(mu, cov);
+  Rng rng(17);
+  const linalg::Matrix draws = mvn.sample_many(rng, 30000);
+  const linalg::Matrix est = sample_covariance(draws);
+  EXPECT_NEAR(est(0, 0), 4.0, 0.15);
+  EXPECT_NEAR(est(0, 1), 1.2, 0.08);
+  EXPECT_NEAR(est(1, 1), 1.0, 0.05);
+  EXPECT_NEAR(mean(draws.column(0)), 10.0, 0.05);
+  EXPECT_NEAR(mean(draws.column(1)), -5.0, 0.03);
+}
+
+TEST(MultivariateNormal, PerfectCorrelationViaJitter) {
+  // Singular covariance (perfectly correlated pair) must still sample after
+  // jitter regularization, and samples must be (almost) identical.
+  const linalg::Matrix cov{{1.0, 1.0}, {1.0, 1.0}};
+  const MultivariateNormal mvn({0.0, 0.0}, cov, 1e-9);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> s = mvn.sample(rng);
+    EXPECT_NEAR(s[0], s[1], 1e-3);
+  }
+}
+
+TEST(MultivariateNormal, UnivariateReducesToNormal) {
+  const linalg::Matrix cov{{2.25}};
+  const MultivariateNormal mvn({1.0}, cov);
+  Rng rng(23);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = mvn.sample(rng)[0];
+  EXPECT_NEAR(mean(xs), 1.0, 0.04);
+  EXPECT_NEAR(stddev(xs), 1.5, 0.04);
+}
+
+TEST(SampleCovariance, ExactOnSmallData) {
+  linalg::Matrix rows(3, 2);
+  rows(0, 0) = 1.0; rows(0, 1) = 2.0;
+  rows(1, 0) = 2.0; rows(1, 1) = 4.0;
+  rows(2, 0) = 3.0; rows(2, 1) = 6.0;
+  const linalg::Matrix cov = sample_covariance(rows);
+  EXPECT_NEAR(cov(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 4.0, 1e-12);
+}
+
+TEST(SampleCovariance, NeedsTwoRows) {
+  EXPECT_THROW(sample_covariance(linalg::Matrix(1, 3)), std::invalid_argument);
+}
+
+TEST(CovarianceToCorrelation, NormalizesDiagonal) {
+  const linalg::Matrix cov{{4.0, 2.0}, {2.0, 9.0}};
+  const linalg::Matrix corr = covariance_to_correlation(cov);
+  EXPECT_DOUBLE_EQ(corr(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(corr(1, 1), 1.0);
+  EXPECT_NEAR(corr(0, 1), 2.0 / 6.0, 1e-12);
+}
+
+TEST(CovarianceToCorrelation, ZeroVarianceRow) {
+  const linalg::Matrix cov{{0.0, 0.0}, {0.0, 1.0}};
+  const linalg::Matrix corr = covariance_to_correlation(cov);
+  EXPECT_DOUBLE_EQ(corr(0, 0), 1.0);  // convention
+  EXPECT_DOUBLE_EQ(corr(0, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace effitest::stats

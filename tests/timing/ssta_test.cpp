@@ -1,0 +1,190 @@
+#include "timing/ssta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/generator.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace effitest::timing {
+namespace {
+
+const netlist::CellLibrary& lib() {
+  static const netlist::CellLibrary library = netlist::CellLibrary::standard();
+  return library;
+}
+
+CanonicalDelay make(double mean, SparseLoading loading, double indep = 0.0) {
+  CanonicalDelay d;
+  d.mean = mean;
+  d.loading = std::move(loading);
+  d.indep_var = indep;
+  return d;
+}
+
+TEST(Canonical, VarianceAndSigma) {
+  const CanonicalDelay d = make(10.0, {{0, 3.0}, {2, 4.0}}, 0.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 25.0);
+  EXPECT_DOUBLE_EQ(d.sigma(), 5.0);
+}
+
+TEST(Canonical, QuantileGaussian) {
+  const CanonicalDelay d = make(100.0, {{0, 2.0}});
+  EXPECT_NEAR(d.quantile(0.5), 100.0, 1e-9);
+  EXPECT_NEAR(d.quantile(0.8413447460685429), 102.0, 1e-6);
+}
+
+TEST(Canonical, SumAddsEverything) {
+  const CanonicalDelay a = make(5.0, {{0, 1.0}}, 0.5);
+  const CanonicalDelay b = make(7.0, {{0, 2.0}, {1, 1.0}}, 0.25);
+  const CanonicalDelay s = canonical_sum(a, b);
+  EXPECT_DOUBLE_EQ(s.mean, 12.0);
+  EXPECT_DOUBLE_EQ(s.indep_var, 0.75);
+  EXPECT_DOUBLE_EQ(canonical_cov(s, s), 9.0 + 1.0);  // (1+2)^2 + 1^2
+}
+
+TEST(Canonical, CovUsesSharedFactorsOnly) {
+  const CanonicalDelay a = make(0.0, {{0, 2.0}, {1, 1.0}}, 5.0);
+  const CanonicalDelay b = make(0.0, {{1, 3.0}, {2, 4.0}}, 7.0);
+  EXPECT_DOUBLE_EQ(canonical_cov(a, b), 3.0);
+}
+
+TEST(ClarkMax, DominantBranchWins) {
+  // When one input is 10 sigma above the other, max == dominant input.
+  const CanonicalDelay hi = make(100.0, {{0, 1.0}});
+  const CanonicalDelay lo = make(50.0, {{1, 1.0}});
+  const CanonicalDelay m = canonical_max(hi, lo);
+  EXPECT_NEAR(m.mean, 100.0, 1e-6);
+  EXPECT_NEAR(m.sigma(), 1.0, 1e-5);
+}
+
+TEST(ClarkMax, EqualIndependentInputsKnownMoments) {
+  // max of two iid N(0,1): mean = 1/sqrt(pi), var = 1 - 1/pi.
+  const CanonicalDelay a = make(0.0, {{0, 1.0}});
+  const CanonicalDelay b = make(0.0, {{1, 1.0}});
+  const CanonicalDelay m = canonical_max(a, b);
+  EXPECT_NEAR(m.mean, 1.0 / std::sqrt(3.14159265358979), 1e-9);
+  EXPECT_NEAR(m.variance(), 1.0 - 1.0 / 3.14159265358979, 1e-9);
+}
+
+TEST(ClarkMax, PerfectlyCorrelatedIsLargerMean) {
+  const CanonicalDelay a = make(10.0, {{0, 2.0}});
+  const CanonicalDelay b = make(12.0, {{0, 2.0}});
+  const CanonicalDelay m = canonical_max(a, b);
+  EXPECT_DOUBLE_EQ(m.mean, 12.0);
+  EXPECT_DOUBLE_EQ(m.sigma(), 2.0);
+}
+
+TEST(ClarkMax, MatchesMonteCarloOnCorrelatedPair) {
+  const CanonicalDelay a = make(100.0, {{0, 3.0}, {1, 2.0}}, 1.0);
+  const CanonicalDelay b = make(102.0, {{0, 3.0}, {2, 2.5}}, 0.5);
+  const CanonicalDelay m = canonical_max(a, b);
+
+  stats::Rng rng(3);
+  const std::size_t trials = 60000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const double z0 = rng.normal();
+    const double z1 = rng.normal();
+    const double z2 = rng.normal();
+    const double da = 100.0 + 3.0 * z0 + 2.0 * z1 + rng.normal();
+    const double db = 102.0 + 3.0 * z0 + 2.5 * z2 +
+                      rng.normal() * std::sqrt(0.5);
+    const double v = std::max(da, db);
+    sum += v;
+    sq += v * v;
+  }
+  const double mc_mean = sum / trials;
+  const double mc_var = sq / trials - mc_mean * mc_mean;
+  EXPECT_NEAR(m.mean, mc_mean, 0.05);
+  EXPECT_NEAR(m.variance(), mc_var, 0.25);
+}
+
+TEST(StatisticalMax, EmptyThrows) {
+  EXPECT_THROW(statistical_max({}), std::invalid_argument);
+}
+
+TEST(StatisticalMax, SingleFormIdentity) {
+  const CanonicalDelay a = make(42.0, {{0, 1.5}}, 0.2);
+  const std::vector<CanonicalDelay> forms{a};
+  const CanonicalDelay m = statistical_max(forms);
+  EXPECT_DOUBLE_EQ(m.mean, 42.0);
+  EXPECT_NEAR(m.variance(), a.variance(), 1e-12);
+}
+
+TEST(StatisticalMax, PrunesHopelessForms) {
+  std::vector<CanonicalDelay> forms;
+  forms.push_back(make(100.0, {{0, 1.0}}));
+  for (int i = 0; i < 50; ++i) {
+    forms.push_back(make(10.0, {{1, 1.0}}));  // never competitive
+  }
+  const CanonicalDelay m = statistical_max(forms);
+  EXPECT_NEAR(m.mean, 100.0, 1e-9);
+}
+
+TEST(SstaRequiredPeriod, MatchesMonteCarloOnGeneratedCircuit) {
+  netlist::GeneratorSpec spec;
+  spec.num_flip_flops = 60;
+  spec.num_gates = 700;
+  spec.num_buffers = 2;
+  spec.num_critical_paths = 20;
+  spec.seed = 31;
+  const auto circuit = netlist::generate_circuit(spec);
+  const CircuitModel model(circuit.netlist, lib(), circuit.buffered_ffs);
+
+  const CanonicalDelay analytic = ssta_required_period(model);
+
+  stats::Rng rng(32);
+  std::vector<double> mc(4000);
+  for (double& v : mc) {
+    const Chip chip = model.sample_chip(rng);
+    double worst = 0.0;
+    for (double d : chip.max_delay) worst = std::max(worst, d);
+    v = worst;
+  }
+  const double mc_mean = stats::mean(mc);
+  const double mc_sigma = stats::stddev(mc);
+  EXPECT_NEAR(analytic.mean, mc_mean, 0.25 * mc_sigma);
+  EXPECT_NEAR(analytic.sigma(), mc_sigma, 0.35 * mc_sigma);
+  // Median within half a sigma of the analytic one.
+  EXPECT_NEAR(analytic.quantile(0.5), stats::quantile(mc, 0.5),
+              0.5 * mc_sigma);
+}
+
+TEST(SstaRequiredPeriod, GraphAndModelVariantsAgree) {
+  netlist::GeneratorSpec spec;
+  spec.num_flip_flops = 50;
+  spec.num_gates = 600;
+  spec.num_buffers = 2;
+  spec.num_critical_paths = 14;
+  spec.seed = 37;
+  const auto circuit = netlist::generate_circuit(spec);
+  const VariationModel variation(VariationParams{}, lib());
+
+  const CanonicalDelay by_graph =
+      ssta_required_period(circuit.netlist, lib(), variation);
+  const CircuitModel model(circuit.netlist, lib(), circuit.buffered_ffs);
+  const CanonicalDelay by_model = ssta_required_period(model);
+
+  // The graph variant sees every topological path (including background
+  // logic) while the model variant uses near-critical extractions — they
+  // must agree within a couple of sigma percent on the dominant statistics.
+  EXPECT_NEAR(by_graph.mean, by_model.mean, 0.05 * by_model.mean);
+  EXPECT_NEAR(by_graph.sigma(), by_model.sigma(), 0.5 * by_model.sigma());
+}
+
+TEST(SstaRequiredPeriod, NoSequentialPathsThrows) {
+  netlist::Netlist nl;
+  const int pi = nl.add_cell("pi", netlist::CellType::kInput);
+  const int g = nl.add_cell("g", netlist::CellType::kBuf, {pi});
+  nl.add_cell("ff", netlist::CellType::kDff, {g});  // PI -> FF only
+  const VariationModel variation(VariationParams{}, lib());
+  EXPECT_THROW(ssta_required_period(nl, lib(), variation),
+               netlist::NetlistError);
+}
+
+}  // namespace
+}  // namespace effitest::timing

@@ -1,0 +1,274 @@
+// effitest_cli — command-line front end for the EffiTest library.
+//
+// Subcommands:
+//   generate  --circuit=<paper name> [--out=file.bench] [--seed=S]
+//             Generate a clustered benchmark circuit (Table-1 statistics)
+//             and optionally export it as ISCAS89 .bench with placement.
+//   info      --bench=file.bench | --circuit=<name>
+//             Print structural and timing statistics.
+//   ssta      --bench=... | --circuit=...
+//             Analytic (Clark) vs Monte-Carlo untuned-period distribution.
+//   run       --bench=... [--buffers=N] | --circuit=<name>
+//             [--chips=N] [--td=ps] [--quantile=q] [--no-prediction]
+//             [--no-alignment] [--seed=S]
+//             Run the full EffiTest flow and print the metrics.
+//
+// Examples:
+//   effitest_cli generate --circuit=s9234 --out=/tmp/s9234_like.bench
+//   effitest_cli run --circuit=s13207 --chips=2000
+//   effitest_cli run --bench=/tmp/s9234_like.bench --buffers=2
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/flow.hpp"
+#include "core/table.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/bench_writer.hpp"
+#include "netlist/generator.hpp"
+#include "timing/graph.hpp"
+#include "timing/ssta.hpp"
+
+namespace {
+
+using namespace effitest;
+
+struct Cli {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> flags;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = options.find(key);
+    return it == options.end() ? std::nullopt
+                               : std::optional<std::string>(it->second);
+  }
+  [[nodiscard]] bool has_flag(const std::string& f) const {
+    return std::find(flags.begin(), flags.end(), f) != flags.end();
+  }
+};
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  if (argc > 1) cli.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) continue;
+    a = a.substr(2);
+    const std::size_t eq = a.find('=');
+    if (eq == std::string::npos) {
+      cli.flags.push_back(a);
+    } else {
+      cli.options[a.substr(0, eq)] = a.substr(eq + 1);
+    }
+  }
+  return cli;
+}
+
+void usage() {
+  std::cout <<
+      R"(usage: effitest_cli <command> [options]
+commands:
+  generate --circuit=<name> [--out=file.bench] [--seed=S]
+  info     --bench=file | --circuit=<name>
+  ssta     --bench=file | --circuit=<name> [--chips=N]
+  run      --bench=file [--buffers=N] | --circuit=<name>
+           [--chips=N] [--td=ps] [--quantile=q] [--seed=S]
+           [--no-prediction] [--no-alignment]
+paper circuits: s9234 s13207 s15850 s38584 mem_ctrl usb_funct ac97_ctrl pci_bridge32
+)";
+}
+
+/// Buffer-insertion stand-in for .bench circuits (generated circuits carry
+/// their own buffer set): rank flip-flops by how many *near-critical* paths
+/// converge at or leave them — the hubs of the paper's Fig. 5 — breaking
+/// ties by the worst incident delay.
+std::vector<int> pick_buffers(const netlist::Netlist& nl,
+                              const netlist::CellLibrary& lib,
+                              std::size_t count) {
+  const timing::TimingGraph graph(nl, lib);
+  const auto pairs = graph.all_pair_delays();
+  double crit = 0.0;
+  for (const auto& pd : pairs) crit = std::max(crit, pd.max_delay);
+  const double threshold = 0.85 * crit;
+  std::map<int, std::pair<int, double>> score;  // ff -> (count, worst)
+  for (const auto& pd : pairs) {
+    if (pd.max_delay < threshold) continue;
+    for (int ff : {pd.src_ff, pd.dst_ff}) {
+      auto& [cnt, worst] = score[ff];
+      ++cnt;
+      worst = std::max(worst, pd.max_delay);
+    }
+  }
+  std::vector<std::pair<std::pair<int, double>, int>> ranked;
+  for (const auto& [ff, s] : score) ranked.emplace_back(s, ff);
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::vector<int> out;
+  for (std::size_t i = 0; i < ranked.size() && out.size() < count; ++i) {
+    out.push_back(ranked[i].second);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct LoadedCircuit {
+  netlist::Netlist netlist;
+  std::vector<int> buffered_ffs;
+};
+
+LoadedCircuit load_circuit(const Cli& cli) {
+  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  if (const auto name = cli.get("circuit")) {
+    netlist::GeneratorSpec spec = netlist::paper_benchmark_spec(*name);
+    if (const auto seed = cli.get("seed")) spec.seed = std::stoull(*seed);
+    netlist::GeneratedCircuit gen = netlist::generate_circuit(spec);
+    return {std::move(gen.netlist), std::move(gen.buffered_ffs)};
+  }
+  if (const auto path = cli.get("bench")) {
+    netlist::Netlist nl = netlist::parse_bench_file_with_placement(*path);
+    const std::size_t nb =
+        cli.get("buffers") ? std::stoul(*cli.get("buffers"))
+                           : std::max<std::size_t>(1, nl.num_flip_flops() / 100);
+    std::vector<int> buffers = pick_buffers(nl, lib, nb);
+    return {std::move(nl), std::move(buffers)};
+  }
+  throw std::runtime_error("need --circuit=<name> or --bench=<file>");
+}
+
+int cmd_generate(const Cli& cli) {
+  const auto name = cli.get("circuit");
+  if (!name) throw std::runtime_error("generate needs --circuit=<name>");
+  netlist::GeneratorSpec spec = netlist::paper_benchmark_spec(*name);
+  if (const auto seed = cli.get("seed")) spec.seed = std::stoull(*seed);
+  const netlist::GeneratedCircuit gen = netlist::generate_circuit(spec);
+  std::cout << "generated " << spec.name << ": "
+            << gen.netlist.num_flip_flops() << " FFs, "
+            << gen.netlist.num_combinational_gates() << " gates, "
+            << gen.buffered_ffs.size() << " buffers, "
+            << gen.critical_edges.size() << " monitored paths\n";
+  if (const auto out = cli.get("out")) {
+    netlist::write_bench_file(gen.netlist, *out);
+    std::cout << "wrote " << *out << " (with #!place placement sidecar)\n";
+    std::cout << "buffered flip-flops:";
+    for (int ff : gen.buffered_ffs) {
+      std::cout << ' ' << gen.netlist.cell(ff).name;
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int cmd_info(const Cli& cli) {
+  const LoadedCircuit lc = load_circuit(cli);
+  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  const timing::TimingGraph graph(lc.netlist, lib);
+  std::cout << "circuit:            " << lc.netlist.name() << '\n'
+            << "primary inputs:     " << lc.netlist.primary_inputs().size()
+            << '\n'
+            << "flip-flops:         " << lc.netlist.num_flip_flops() << '\n'
+            << "combinational:      " << lc.netlist.num_combinational_gates()
+            << '\n'
+            << "FF-pair edges:      " << graph.all_pair_delays().size() << '\n'
+            << "critical delay:     " << graph.nominal_critical_delay()
+            << " ps\n"
+            << "tuning buffers:     " << lc.buffered_ffs.size() << '\n';
+  const timing::CircuitModel model(lc.netlist, lib, lc.buffered_ffs);
+  std::cout << "monitored paths:    " << model.num_pairs() << '\n'
+            << "discarded (static): " << model.num_discarded_pairs() << '\n';
+  return 0;
+}
+
+int cmd_ssta(const Cli& cli) {
+  const LoadedCircuit lc = load_circuit(cli);
+  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  const timing::VariationModel variation(timing::VariationParams{}, lib);
+  const timing::CanonicalDelay analytic =
+      timing::ssta_required_period(lc.netlist, lib, variation);
+
+  const timing::CircuitModel model(lc.netlist, lib, lc.buffered_ffs);
+  const core::Problem problem(model);
+  const std::size_t chips =
+      cli.get("chips") ? std::stoul(*cli.get("chips")) : 4000;
+  stats::Rng rng(11);
+  const double mc_t1 = core::period_quantile(problem, 0.5, chips, rng);
+  stats::Rng rng2(11);
+  const double mc_t2 = core::period_quantile(problem, 0.8413, chips, rng2);
+
+  core::Table t({"quantity", "analytic (Clark)", "Monte-Carlo"});
+  t.add_row({"mean required period (ps)", core::Table::num(analytic.mean, 2),
+             "-"});
+  t.add_row({"sigma (ps)", core::Table::num(analytic.sigma(), 2), "-"});
+  t.add_row({"T1 = 50% quantile", core::Table::num(analytic.quantile(0.5), 2),
+             core::Table::num(mc_t1, 2)});
+  t.add_row({"T2 = 84.13% quantile",
+             core::Table::num(analytic.quantile(0.8413), 2),
+             core::Table::num(mc_t2, 2)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_run(const Cli& cli) {
+  const LoadedCircuit lc = load_circuit(cli);
+  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  const timing::CircuitModel model(lc.netlist, lib, lc.buffered_ffs);
+  if (model.num_pairs() == 0) {
+    std::cout << "no monitored paths (no FF pair touches a buffer)\n";
+    return 1;
+  }
+  const core::Problem problem(model);
+
+  core::FlowOptions opts;
+  if (const auto chips = cli.get("chips")) opts.chips = std::stoul(*chips);
+  if (const auto seed = cli.get("seed")) opts.seed = std::stoull(*seed);
+  if (const auto td = cli.get("td")) opts.designated_period = std::stod(*td);
+  opts.use_prediction = !cli.has_flag("no-prediction");
+  opts.test.align_with_buffers = !cli.has_flag("no-alignment");
+  if (const auto q = cli.get("quantile")) {
+    stats::Rng rng(opts.seed ^ 0x7157);
+    opts.designated_period =
+        core::period_quantile(problem, std::stod(*q), 2000, rng);
+  }
+
+  const core::FlowResult r = core::run_flow(problem, opts);
+  const core::FlowMetrics& m = r.metrics;
+  core::Table t({"metric", "value"});
+  t.add_row({"designated period (ps)", core::Table::num(m.designated_period, 2)});
+  t.add_row({"monitored paths np", core::Table::num(m.np)});
+  t.add_row({"tested paths npt", core::Table::num(m.npt)});
+  t.add_row({"batches", core::Table::num(m.num_batches)});
+  t.add_row({"epsilon (ps)", core::Table::num(m.epsilon_ps, 3)});
+  t.add_row({"iterations/chip ta", core::Table::num(m.ta, 2)});
+  t.add_row({"iterations/tested path tv", core::Table::num(m.tv, 2)});
+  t.add_row({"path-wise t'a", core::Table::num(m.ta_pathwise, 0)});
+  t.add_row({"reduction ra (%)", core::Table::num(m.ra, 2)});
+  t.add_row({"reduction rv (%)", core::Table::num(m.rv, 2)});
+  t.add_row({"yield untuned (%)", core::Table::num(m.yield_no_buffer * 100, 2)});
+  t.add_row({"yield proposed yt (%)", core::Table::num(m.yield_proposed * 100, 2)});
+  t.add_row({"yield ideal yi (%)", core::Table::num(m.yield_ideal * 100, 2)});
+  t.add_row({"yield drop yr (%)", core::Table::num(m.yield_drop * 100, 2)});
+  t.add_row({"prep Tp (s)", core::Table::num(m.tp_seconds, 3)});
+  t.add_row({"align Tt (s/chip)", core::Table::num(m.tt_seconds_per_chip, 5)});
+  t.add_row({"config Ts (s/chip)", core::Table::num(m.ts_seconds_per_chip, 5)});
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse_cli(argc, argv);
+  try {
+    if (cli.command == "generate") return cmd_generate(cli);
+    if (cli.command == "info") return cmd_info(cli);
+    if (cli.command == "ssta") return cmd_ssta(cli);
+    if (cli.command == "run") return cmd_run(cli);
+    usage();
+    return cli.command.empty() ? 1 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
