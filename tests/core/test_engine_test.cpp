@@ -52,7 +52,8 @@ TEST(PathwiseIterations, BisectionCount) {
   EXPECT_EQ(pathwise_iterations(0.0, 8.0, 1.0), 4u);   // 8->4->2->1->0.5
   EXPECT_EQ(pathwise_iterations(0.0, 8.0, 9.0), 0u);   // already resolved
   EXPECT_EQ(pathwise_iterations(0.0, 1.0, 0.01), 7u);  // 2^7 = 128 > 100
-  EXPECT_THROW(pathwise_iterations(0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)pathwise_iterations(0.0, 1.0, 0.0),
+               std::invalid_argument);
 }
 
 TEST(DelayTest, BoundsBracketTrueDelay) {

@@ -142,7 +142,8 @@ TEST(PeriodQuantile, MonotoneInQ) {
 TEST(PeriodQuantile, ZeroChipsThrows) {
   Fixture f;
   stats::Rng rng(9);
-  EXPECT_THROW(period_quantile(f.problem, 0.5, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)period_quantile(f.problem, 0.5, 0, rng),
+               std::invalid_argument);
 }
 
 }  // namespace

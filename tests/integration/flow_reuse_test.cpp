@@ -1,0 +1,95 @@
+// FlowArtifacts reuse contract: the offline preparation does not depend on
+// the designated period T_d, so sweeping T_d with `reuse` (the Table-2
+// pattern) must reproduce a fresh prepare_flow exactly — same artifacts,
+// same per-chip streams, same metrics. Also pins the seeding contract:
+// results are identical for any FlowOptions::threads.
+
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "core/yield.hpp"
+#include "netlist/generator.hpp"
+#include "timing/model.hpp"
+
+namespace effitest::core {
+namespace {
+
+FlowOptions small_options() {
+  FlowOptions opts;
+  opts.chips = 80;
+  opts.seed = 99;
+  opts.threads = 1;
+  return opts;
+}
+
+void expect_same_outcome(const FlowResult& fresh, const FlowResult& reused) {
+  const FlowMetrics& a = fresh.metrics;
+  const FlowMetrics& b = reused.metrics;
+  EXPECT_DOUBLE_EQ(a.designated_period, b.designated_period);
+  EXPECT_DOUBLE_EQ(a.epsilon_ps, b.epsilon_ps);
+  EXPECT_EQ(a.npt, b.npt);
+  EXPECT_EQ(a.num_groups, b.num_groups);
+  EXPECT_EQ(a.num_batches, b.num_batches);
+  EXPECT_EQ(a.num_selected, b.num_selected);
+  EXPECT_DOUBLE_EQ(a.ta, b.ta);
+  EXPECT_DOUBLE_EQ(a.tv, b.tv);
+  EXPECT_DOUBLE_EQ(a.ta_pathwise, b.ta_pathwise);
+  EXPECT_DOUBLE_EQ(a.yield_no_buffer, b.yield_no_buffer);
+  EXPECT_DOUBLE_EQ(a.yield_ideal, b.yield_ideal);
+  EXPECT_DOUBLE_EQ(a.yield_proposed, b.yield_proposed);
+  EXPECT_EQ(a.forced_resolutions, b.forced_resolutions);
+  EXPECT_EQ(a.infeasible_configs, b.infeasible_configs);
+
+  EXPECT_EQ(fresh.artifacts.tested, reused.artifacts.tested);
+  ASSERT_EQ(fresh.artifacts.batches.size(), reused.artifacts.batches.size());
+  for (std::size_t i = 0; i < fresh.artifacts.batches.size(); ++i) {
+    EXPECT_EQ(fresh.artifacts.batches[i].paths,
+              reused.artifacts.batches[i].paths);
+  }
+  EXPECT_EQ(fresh.artifacts.hold.size(), reused.artifacts.hold.size());
+}
+
+TEST(FlowReuse, SweepingDesignatedPeriodMatchesFreshPrepare) {
+  const netlist::GeneratedCircuit circuit =
+      netlist::generate_circuit(netlist::paper_benchmark_spec("s9234"));
+  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  const timing::CircuitModel model(circuit.netlist, lib, circuit.buffered_ffs);
+  const Problem problem(model);
+
+  const FlowOptions base = small_options();
+
+  // Prepare once (artifacts are T_d-independent) ...
+  const FlowResult first = run_flow(problem, base);
+  const FlowArtifacts prepared = first.artifacts;
+  const double t1 = first.metrics.designated_period;
+  ASSERT_GT(t1, 0.0);
+
+  // ... then sweep T_d, comparing a fresh prepare against the reuse path.
+  for (const double scale : {0.95, 1.0, 1.05}) {
+    FlowOptions opts = base;
+    opts.designated_period = scale * t1;
+    const FlowResult fresh = run_flow(problem, opts);
+    const FlowResult reused = run_flow(problem, opts, &prepared);
+    SCOPED_TRACE("T_d scale " + std::to_string(scale));
+    expect_same_outcome(fresh, reused);
+  }
+}
+
+TEST(FlowReuse, ThreadCountDoesNotChangeResults) {
+  const netlist::GeneratedCircuit circuit =
+      netlist::generate_circuit(netlist::paper_benchmark_spec("s9234"));
+  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  const timing::CircuitModel model(circuit.netlist, lib, circuit.buffered_ffs);
+  const Problem problem(model);
+
+  FlowOptions serial = small_options();
+  FlowOptions parallel = small_options();
+  parallel.threads = 4;
+
+  const FlowResult a = run_flow(problem, serial);
+  const FlowResult b = run_flow(problem, parallel);
+  expect_same_outcome(a, b);
+}
+
+}  // namespace
+}  // namespace effitest::core

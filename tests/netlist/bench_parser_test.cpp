@@ -104,7 +104,7 @@ TEST(BenchParser, UndefinedOutputThrows) {
 
 TEST(BenchParser, ErrorCarriesLineNumber) {
   try {
-    parse_bench_string("INPUT(a)\nx = FROB(a)\n");
+    (void)parse_bench_string("INPUT(a)\nx = FROB(a)\n");
     FAIL() << "expected BenchParseError";
   } catch (const BenchParseError& e) {
     EXPECT_EQ(e.line_number, 2u);
