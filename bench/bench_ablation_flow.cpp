@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const auto run = [&](core::FlowOptions opts) {
     opts.chips = chips;
     opts.seed = args.seed;
+    opts.threads = args.threads;
     return core::run_flow(inst.problem, opts);
   };
 

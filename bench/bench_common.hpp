@@ -8,6 +8,9 @@
 //                  interval shrinks with N; see EXPERIMENTS.md)
 //   --circuits=a,b comma-separated subset of the 8 paper benchmarks
 //   --seed=S       master seed
+//   --threads=N    worker threads for the flow-driven benches (0 = all
+//                  cores; results are identical for any value — DESIGN.md
+//                  §8; the pure-solver ablations ignore it)
 
 #include <cstdint>
 #include <iostream>
@@ -27,6 +30,7 @@ struct BenchArgs {
   std::size_t chips = 0;  // 0 = use the binary's default
   std::vector<std::string> circuits;
   std::uint64_t seed = 2016;
+  std::size_t threads = 0;  // 0 = all cores
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -37,6 +41,8 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.chips = static_cast<std::size_t>(std::stoul(a.substr(8)));
     } else if (a.rfind("--seed=", 0) == 0) {
       args.seed = std::stoull(a.substr(7));
+    } else if (a.rfind("--threads=", 0) == 0) {
+      args.threads = static_cast<std::size_t>(std::stoul(a.substr(10)));
     } else if (a.rfind("--circuits=", 0) == 0) {
       std::stringstream ss(a.substr(11));
       std::string piece;

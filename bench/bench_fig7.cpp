@@ -28,13 +28,14 @@ int main(int argc, char** argv) {
     // The designated period stays at the *nominal* T1 (the design's clock
     // does not change); only the manufactured population gets noisier.
     const bench::Instance nominal(spec);
-    stats::Rng cal(args.seed ^ 0x7157);
+    stats::Rng cal(args.seed ^ core::kQuantileCalibrationSeedXor);
     const double t1 = core::period_quantile(nominal.problem, 0.5, 2000, cal);
 
     const bench::Instance inst(spec, kInflation);
     core::FlowOptions opts;
     opts.chips = chips;
     opts.seed = args.seed;
+    opts.threads = args.threads;
     opts.designated_period = t1;
     const core::FlowResult r = core::run_flow(inst.problem, opts);
     table.add_row({

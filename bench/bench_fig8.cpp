@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     core::FlowOptions base;
     base.chips = chips;
     base.seed = args.seed;
+    base.threads = args.threads;
     base.use_prediction = false;  // test all np paths
     base.evaluate_yield = false;  // iterations only
 

@@ -1,0 +1,111 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "core/yield.hpp"
+#include "netlist/generator.hpp"
+#include "parallel/deterministic_for.hpp"
+#include "timing/model.hpp"
+
+namespace effitest::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<CampaignJob> CampaignRunner::cross(
+    const std::vector<std::string>& circuits,
+    const std::vector<double>& quantiles) {
+  std::vector<CampaignJob> jobs;
+  jobs.reserve(circuits.size() * std::max<std::size_t>(quantiles.size(), 1));
+  for (const std::string& circuit : circuits) {
+    if (quantiles.empty()) {
+      jobs.push_back(CampaignJob{circuit, 0.0, -1.0});
+      continue;
+    }
+    for (double q : quantiles) {
+      jobs.push_back(CampaignJob{circuit, 0.0, q});
+    }
+  }
+  return jobs;
+}
+
+CampaignResult CampaignRunner::run(
+    const std::vector<CampaignJob>& jobs) const {
+  const auto t0 = Clock::now();
+  CampaignResult out;
+  out.jobs.resize(jobs.size());
+
+  // Group job indices by circuit, preserving first-appearance order (the
+  // group's first job defines which artifacts the rest reuse).
+  std::vector<std::pair<std::string, std::vector<std::size_t>>> groups;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
+      return g.first == jobs[i].circuit;
+    });
+    if (it == groups.end()) {
+      groups.emplace_back(jobs[i].circuit, std::vector<std::size_t>{i});
+    } else {
+      it->second.push_back(i);
+    }
+  }
+
+  parallel::ForOptions fopts;
+  fopts.threads = options_.threads;
+  parallel::deterministic_for(groups.size(), fopts, [&](std::size_t gi) {
+    const auto& [name, indices] = groups[gi];
+
+    const netlist::GeneratedCircuit circuit =
+        netlist::generate_circuit(netlist::paper_benchmark_spec(name));
+    const netlist::CellLibrary library = netlist::CellLibrary::standard();
+    timing::ModelOptions model_options;
+    model_options.random_inflation = options_.random_inflation;
+    const timing::CircuitModel model(circuit.netlist, library,
+                                     circuit.buffered_ffs, model_options);
+    const Problem problem(model);
+
+    FlowArtifacts prepared;
+    const FlowArtifacts* reuse = nullptr;
+    for (std::size_t idx : indices) {
+      const CampaignJob& job = jobs[idx];
+      FlowOptions opts = options_.flow;
+      if (opts.threads == 0) opts.threads = options_.threads;
+      opts.designated_period = job.designated_period;
+      const auto j0 = Clock::now();  // job time includes T_d calibration
+      if (opts.designated_period <= 0.0 && job.quantile >= 0.0) {
+        stats::Rng calibration(options_.flow.seed ^
+                               kQuantileCalibrationSeedXor);
+        opts.designated_period = period_quantile(
+            problem, job.quantile, options_.calibration_chips, calibration);
+      }
+
+      FlowResult result = run_flow(problem, opts, reuse);
+      CampaignJobResult& slot = out.jobs[idx];
+      slot.job = job;
+      slot.metrics = result.metrics;
+      slot.metrics.ns = circuit.netlist.num_flip_flops();
+      slot.metrics.ng = circuit.netlist.num_combinational_gates();
+      slot.seconds = seconds_since(j0);
+      if (reuse == nullptr) {
+        prepared = std::move(result.artifacts);
+        reuse = &prepared;
+      }
+    }
+  });
+
+  out.total_seconds = seconds_since(t0);
+  return out;
+}
+
+}  // namespace effitest::core

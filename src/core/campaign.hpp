@@ -1,0 +1,95 @@
+#pragma once
+// Multi-circuit experiment campaigns on the shared parallel runtime.
+//
+// A campaign is a flat list of (circuit, designated-period) jobs — the shape
+// of Table 1 (every circuit at the T1 convention) and Table 2 (every circuit
+// at the T1/T2 quantiles). The runner:
+//
+//  * fans distinct circuits out across the shared thread pool (each circuit
+//    is generated, modeled and prepared exactly once);
+//  * runs same-circuit jobs sequentially against the reused T_d-independent
+//    FlowArtifacts (the Table-2 pattern), so an 8-circuit x 2-period sweep
+//    costs 8 offline preparations, not 16;
+//  * lets the per-chip loops inside each flow draw from the same pool, so
+//    one invocation saturates all cores even when circuits outnumber —
+//    or are outnumbered by — the workers.
+//
+// Every job is seeded from CampaignOptions::flow.seed exactly as a direct
+// run_flow call would be, and all fan-out goes through
+// parallel::deterministic_for, so campaign results are bit-identical for any
+// thread count (job wall-clock fields excepted).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+
+namespace effitest::core {
+
+/// One flow invocation of a campaign.
+struct CampaignJob {
+  /// Paper benchmark name (netlist::paper_benchmark_spec).
+  std::string circuit;
+  /// Explicit designated period T_d (ps). <= 0 defers to `quantile`; when
+  /// that is unset too, the flow's T1 convention applies (median untuned
+  /// required period, 50% no-buffer yield).
+  double designated_period = 0.0;
+  /// Untuned required-period quantile to calibrate T_d from (0.5 = T1,
+  /// 0.8413 = T2); < 0 disables. Calibration reseeds from the campaign seed
+  /// the same way the CLI and Table-2 bench always have
+  /// (seed ^ core::kQuantileCalibrationSeedXor).
+  double quantile = -1.0;
+};
+
+struct CampaignJobResult {
+  CampaignJob job;
+  /// Flow metrics; ns/ng are filled in from the generated netlist.
+  FlowMetrics metrics;
+  /// Wall time of this job — T_d calibration included, circuit
+  /// construction excluded (non-deterministic; everything else in the
+  /// result is thread-invariant).
+  double seconds = 0.0;
+};
+
+struct CampaignResult {
+  std::vector<CampaignJobResult> jobs;  ///< in input order
+  double total_seconds = 0.0;           ///< campaign wall time
+};
+
+struct CampaignOptions {
+  /// Base flow options applied to every job (chips, seed, ...).
+  /// designated_period is overridden per job; flow.threads of 0 inherits
+  /// `threads` below (the same 0-inherits rule as grouping/hold inside the
+  /// flow), so setting one knob configures the whole campaign.
+  FlowOptions flow{};
+  /// Circuit-level fan-out; 0 = shared-pool width. Same-circuit jobs always
+  /// run sequentially (they share the prepared artifacts).
+  std::size_t threads = 0;
+  /// ModelOptions::random_inflation for the built circuit models (Fig. 7).
+  double random_inflation = 1.0;
+  /// Monte-Carlo dies for quantile calibration of jobs with `quantile` set.
+  std::size_t calibration_chips = 2000;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignOptions options = {});
+
+  /// Run all jobs. Circuits fan out across the pool; within a circuit, jobs
+  /// run in input order and every job after the first reuses the first
+  /// job's FlowArtifacts.
+  [[nodiscard]] CampaignResult run(const std::vector<CampaignJob>& jobs) const;
+
+  /// Cross product: every circuit at every quantile, circuit-major (so the
+  /// runner groups them into one preparation per circuit). An empty
+  /// quantile list yields one default-convention job per circuit.
+  [[nodiscard]] static std::vector<CampaignJob> cross(
+      const std::vector<std::string>& circuits,
+      const std::vector<double>& quantiles);
+
+ private:
+  CampaignOptions options_;
+};
+
+}  // namespace effitest::core

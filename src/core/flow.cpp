@@ -1,12 +1,11 @@
 #include "core/flow.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <numeric>
-#include <thread>
 
+#include "parallel/deterministic_for.hpp"
 #include "stats/distributions.hpp"
 
 namespace effitest::core {
@@ -35,6 +34,14 @@ FlowArtifacts prepare_flow(const Problem& problem, const FlowOptions& options,
   const timing::CircuitModel& model = problem.model();
   const std::size_t np = model.num_pairs();
   FlowArtifacts art;
+
+  // Grouping/hold thread knobs of 0 inherit the flow-level setting (which
+  // may itself be 0 = pool width). Purely a scheduling choice: both stages
+  // produce bit-identical results for any worker count.
+  GroupingOptions grouping = options.grouping;
+  if (grouping.threads == 0) grouping.threads = options.threads;
+  HoldBoundOptions hold = options.hold;
+  if (hold.threads == 0) hold.threads = options.threads;
 
   const std::vector<double> means = model.max_means();
   const std::vector<double> sigmas = model.max_sigmas();
@@ -68,8 +75,8 @@ FlowArtifacts prepare_flow(const Problem& problem, const FlowOptions& options,
   };
 
   if (options.use_prediction) {
-    const linalg::Matrix cov = model.max_covariance();
-    art.selection = select_paths(cov, options.grouping);
+    const linalg::Matrix cov = model.max_covariance(options.threads);
+    art.selection = select_paths(cov, grouping);
     art.tested = art.selection.tested;
     std::vector<std::vector<std::size_t>> tested_by_group;
     for (const PathGroup& g : art.selection.groups) {
@@ -105,13 +112,13 @@ FlowArtifacts prepare_flow(const Problem& problem, const FlowOptions& options,
     // batches are still composed correlation-cluster-major.
     art.tested.resize(np);
     std::iota(art.tested.begin(), art.tested.end(), std::size_t{0});
-    const linalg::Matrix cov = model.max_covariance();
+    const linalg::Matrix cov = model.max_covariance(options.threads);
     art.batches = build_batches(
-        problem, cluster_major(correlation_clusters(cov, options.grouping)),
+        problem, cluster_major(correlation_clusters(cov, grouping)),
         batching);
   }
 
-  art.hold = compute_hold_bounds(problem, rng, options.hold);
+  art.hold = compute_hold_bounds(problem, rng, hold);
   return art;
 }
 
@@ -169,8 +176,10 @@ FlowResult run_flow(const Problem& problem, const FlowOptions& options,
   m.ta_pathwise = static_cast<double>(pathwise_total);
   m.tv_pathwise = m.np > 0 ? m.ta_pathwise / static_cast<double>(m.np) : 0.0;
 
-  // --- Monte-Carlo tester loop (parallel; chip c draws from its own
-  //     seed-derived stream so any thread count gives identical results). ----
+  // --- Monte-Carlo tester loop (parallel::deterministic_reduce; chip c
+  //     draws from its own stream seeded index_seed(chip_seed_base, c), and
+  //     tallies fold in a chunk layout fixed by the chip count alone, so any
+  //     thread count gives bit-identical results). -------------------------
   struct Tally {
     std::size_t iter_sum = 0;
     std::size_t forced = 0;
@@ -183,8 +192,9 @@ FlowResult run_flow(const Problem& problem, const FlowOptions& options,
   };
   const std::uint64_t chip_seed_base = rng.fork().engine()();
 
-  const auto process_chip = [&](std::size_t c, Tally& tally) {
-    stats::Rng chip_rng(chip_seed_base ^ (0x9e3779b97f4a7c15ULL * (c + 1)));
+  const auto process_chip = [&](std::size_t c, stats::Rng& chip_rng,
+                                Tally& tally) {
+    (void)c;
     const timing::Chip chip = model.sample_chip(chip_rng);
 
     TestRunResult test = run_delay_test(problem, chip, art.batches,
@@ -235,44 +245,20 @@ FlowResult run_flow(const Problem& problem, const FlowOptions& options,
     }
   };
 
-  std::size_t n_threads = options.threads;
-  if (n_threads == 0) {
-    n_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  n_threads = std::min(n_threads, std::max<std::size_t>(options.chips, 1));
-
-  std::vector<Tally> tallies(n_threads);
-  if (n_threads <= 1) {
-    for (std::size_t c = 0; c < options.chips; ++c) {
-      process_chip(c, tallies[0]);
-    }
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> workers;
-    workers.reserve(n_threads);
-    for (std::size_t t = 0; t < n_threads; ++t) {
-      workers.emplace_back([&, t] {
-        while (true) {
-          const std::size_t c = next.fetch_add(1);
-          if (c >= options.chips) break;
-          process_chip(c, tallies[t]);
-        }
+  parallel::ForOptions fopts;
+  fopts.threads = options.threads;  // resolve_workers clamps by chip count
+  const Tally total = parallel::deterministic_reduce<Tally>(
+      options.chips, fopts, chip_seed_base, process_chip,
+      [](Tally& a, const Tally& b) {
+        a.iter_sum += b.iter_sum;
+        a.forced += b.forced;
+        a.infeasible += b.infeasible;
+        a.pass_proposed += b.pass_proposed;
+        a.pass_ideal += b.pass_ideal;
+        a.pass_untuned += b.pass_untuned;
+        a.tt_sum += b.tt_sum;
+        a.ts_sum += b.ts_sum;
       });
-    }
-    for (std::thread& w : workers) w.join();
-  }
-
-  Tally total;
-  for (const Tally& t : tallies) {
-    total.iter_sum += t.iter_sum;
-    total.forced += t.forced;
-    total.infeasible += t.infeasible;
-    total.pass_proposed += t.pass_proposed;
-    total.pass_ideal += t.pass_ideal;
-    total.pass_untuned += t.pass_untuned;
-    total.tt_sum += t.tt_sum;
-    total.ts_sum += t.ts_sum;
-  }
   const std::size_t iter_sum = total.iter_sum;
   m.forced_resolutions = total.forced;
   m.infeasible_configs = total.infeasible;

@@ -37,9 +37,17 @@ struct FlowOptions {
   ConfigOptions config{};
   std::size_t chips = 1000;     ///< Monte-Carlo dies (paper: 10,000)
   std::uint64_t seed = 2016;
-  /// Worker threads for the per-chip loop. Every chip draws from its own
-  /// seed-derived stream, so results are identical for any thread count.
-  /// 0 = hardware concurrency, 1 = serial.
+  /// Worker threads for the parallel sections (per-chip tester loop,
+  /// hold-bound sampling, Procedure-1 PCA — all on the shared pool). Every
+  /// chip/sample draws from its own seed-derived stream and reductions fold
+  /// in a fixed index order, so results are bit-identical for any value.
+  /// 0 = hardware concurrency (the shared-pool width), 1 = serial. The
+  /// effective worker count of each section is additionally clamped to its
+  /// work-shard count and to the pool width + 1
+  /// (parallel::resolve_workers) — the tester loop runs
+  /// min(threads, chips, 256, pool width + 1) workers, 256 being the
+  /// runtime's shard cap; grouping.threads / hold.threads of 0 inherit
+  /// this value.
   std::size_t threads = 0;
   /// Designated clock period T_d; <= 0 selects the T1 convention
   /// (median untuned required period, 50% no-buffer yield).

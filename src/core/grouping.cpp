@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/deterministic_for.hpp"
 #include "stats/pca.hpp"
 
 namespace effitest::core {
@@ -56,10 +57,27 @@ SelectionResult select_paths(const linalg::Matrix& cov,
   const std::vector<std::vector<std::size_t>> clusters =
       correlation_clusters(cov, options);
 
+  // Thresholds replay the serial round schedule (repeated subtraction, not
+  // corr_start - g*corr_step, to keep the recorded values bit-identical to
+  // the historical serial loop).
+  std::vector<double> thresholds(clusters.size());
   double threshold = options.corr_start;
-  for (const std::vector<std::size_t>& members : clusters) {
+  for (std::size_t g = 0; g < clusters.size(); ++g) {
+    thresholds[g] = threshold;
+    threshold -= options.corr_step;
+  }
+
+  // The per-group covariance-block assembly + Jacobi PCA dominates offline
+  // preparation on large circuits and is independent across groups: each
+  // group writes only its own slot, so the pool fans groups out while the
+  // result stays bit-identical for any worker count.
+  out.groups.resize(clusters.size());
+  parallel::ForOptions fopts;
+  fopts.threads = options.threads;
+  parallel::deterministic_for(clusters.size(), fopts, [&](std::size_t gi) {
+    const std::vector<std::size_t>& members = clusters[gi];
     PathGroup group;
-    group.threshold = threshold;
+    group.threshold = thresholds[gi];
     group.members = members;
 
     // PCA of the group's covariance block. Very large groups are
@@ -91,9 +109,8 @@ SelectionResult select_paths(const linalg::Matrix& cov,
     for (std::size_t l : local) group.selected.push_back(basis[l]);
     std::sort(group.selected.begin(), group.selected.end());
 
-    out.groups.push_back(std::move(group));
-    threshold -= options.corr_step;
-  }
+    out.groups[gi] = std::move(group);
+  });
 
   for (const PathGroup& g : out.groups) {
     out.tested.insert(out.tested.end(), g.selected.begin(), g.selected.end());

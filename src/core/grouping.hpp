@@ -31,6 +31,11 @@ struct GroupingOptions {
   /// subsample (Jacobi is O(n^3); the PC count and the representative
   /// choice of an equicorrelated block are insensitive to subsampling).
   std::size_t pca_max_block = 320;
+  /// Worker threads for the per-group covariance-block assembly + PCA
+  /// (groups are independent). 0 = shared-pool width; inside the flow, 0
+  /// inherits FlowOptions::threads. The selection is a pure function of the
+  /// covariance, so any value gives bit-identical results.
+  std::size_t threads = 0;
 };
 
 struct PathGroup {

@@ -6,6 +6,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "parallel/deterministic_for.hpp"
+
 namespace effitest::core {
 
 namespace {
@@ -131,29 +133,46 @@ std::vector<double> exact_milp_bounds(
   return lambda;
 }
 
-std::vector<HoldConstraintX> compute_hold_bounds(
-    const Problem& problem, stats::Rng& rng, const HoldBoundOptions& options) {
+HoldMarginSamples sample_hold_margins(const Problem& problem, stats::Rng& rng,
+                                      const HoldBoundOptions& options) {
   const timing::CircuitModel& model = problem.model();
   const double h = model.hold_time();
+  HoldMarginSamples out;
 
   // Pairs whose skew is adjustable (at least one buffered endpoint).
-  std::vector<std::size_t> exposed;
   for (std::size_t p = 0; p < model.num_pairs(); ++p) {
     if (problem.src_buffer(p) >= 0 || problem.dst_buffer(p) >= 0) {
-      exposed.push_back(p);
+      out.exposed.push_back(p);
     }
   }
-  if (exposed.empty()) return {};
+  if (out.exposed.empty()) return out;
 
-  // Sample hold margins delta = h - d_min over M chips.
-  std::vector<std::vector<double>> delta(options.samples);
-  for (std::size_t k = 0; k < options.samples; ++k) {
-    const timing::Chip chip = model.sample_chip(rng);
-    delta[k].resize(exposed.size());
-    for (std::size_t e = 0; e < exposed.size(); ++e) {
-      delta[k][e] = h - chip.min_delay[exposed[e]];
-    }
-  }
+  // Sample hold margins delta = h - d_min over M chips, fanned out over the
+  // shared pool. Sample k draws from its own stream seeded
+  // index_seed(base, k), so the margins — and therefore the bounds — are
+  // bit-identical for any worker count.
+  const std::uint64_t sample_seed_base = rng.engine()();
+  out.delta.resize(options.samples);
+  parallel::ForOptions fopts;
+  fopts.threads = options.threads;
+  parallel::deterministic_for(
+      options.samples, fopts, sample_seed_base,
+      [&](std::size_t k, stats::Rng& sample_rng) {
+        const timing::Chip chip = model.sample_chip(sample_rng);
+        out.delta[k].resize(out.exposed.size());
+        for (std::size_t e = 0; e < out.exposed.size(); ++e) {
+          out.delta[k][e] = h - chip.min_delay[out.exposed[e]];
+        }
+      });
+  return out;
+}
+
+std::vector<HoldConstraintX> compute_hold_bounds(
+    const Problem& problem, stats::Rng& rng, const HoldBoundOptions& options) {
+  const HoldMarginSamples samples = sample_hold_margins(problem, rng, options);
+  const std::vector<std::size_t>& exposed = samples.exposed;
+  if (exposed.empty()) return {};
+  const std::vector<std::vector<double>>& delta = samples.delta;
 
   const std::vector<double> lambda =
       options.method == HoldBoundOptions::Method::kExactMilp

@@ -33,7 +33,28 @@ struct HoldBoundOptions {
   enum class Method : std::uint8_t { kGreedyDiscard, kExactMilp };
   Method method = Method::kGreedyDiscard;
   lp::SolveOptions lp{};
+  /// Worker threads for margin sampling. Each sample draws from its own
+  /// seed-derived stream (parallel::index_seed), so the bounds are
+  /// bit-identical for any value. 0 = shared-pool width; inside the flow, 0
+  /// inherits FlowOptions::threads.
+  std::size_t threads = 0;
 };
+
+/// Sampled hold margins of the buffer-exposed monitored pairs.
+struct HoldMarginSamples {
+  /// Monitored pair indices with at least one buffered endpoint.
+  std::vector<std::size_t> exposed;
+  /// delta[k][e] = h - d_min of pair exposed[e] on sampled chip k.
+  std::vector<std::vector<double>> delta;
+};
+
+/// Sample M = options.samples chips and collect their hold margins. Runs on
+/// the shared pool (options.threads workers); sample k draws from its own
+/// stream seeded parallel::index_seed(base, k) where `base` is one draw
+/// from `rng`, so the result is bit-identical for any worker count.
+[[nodiscard]] HoldMarginSamples sample_hold_margins(
+    const Problem& problem, stats::Rng& rng,
+    const HoldBoundOptions& options = {});
 
 /// Compute hold lower bounds for every monitored pair that touches at least
 /// one buffer (pairs without buffers have fixed skew 0 and cannot be

@@ -8,6 +8,7 @@
 // This is the "separate pass/fail test after the buffers are configured"
 // the paper assumes (§3, ref. [8]).
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -35,6 +36,13 @@ namespace effitest::core {
 /// (max true delay over monitored and promoted background pairs).
 [[nodiscard]] double untuned_required_period(const Problem& problem,
                                              const timing::Chip& chip);
+
+/// Seed offset for T_d quantile calibration: every surface that calibrates
+/// a designated period from a master seed (CLI `run --quantile`, the
+/// campaign runner, benches) seeds its calibration stream
+/// `Rng(seed ^ kQuantileCalibrationSeedXor)`, so they all agree on T_d for
+/// the same master seed.
+inline constexpr std::uint64_t kQuantileCalibrationSeedXor = 0x7157;
 
 /// Monte-Carlo estimate of the q-quantile of the untuned required period —
 /// used to pick the paper's T1 (q = 0.5, 50% no-buffer yield) and T2

@@ -1,0 +1,58 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace effitest::parallel {
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(std::max<std::size_t>(
+      2, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t width) : width_(width) {}
+
+void ThreadPool::start_locked() {
+  // Flag first: if a thread constructor throws mid-loop, a retry must not
+  // spawn a second worker set (the "at most width() workers" invariant the
+  // nested-parallelism design relies on). Fewer workers is fine — callers
+  // never depend on pool pickup for progress.
+  started_ = true;
+  workers_.reserve(width_);
+  for (std::size_t i = 0; i < width_; ++i) {
+    workers_.emplace_back([this] {
+      std::unique_lock lock(mutex_);
+      while (true) {
+        work_ready_.wait(lock,
+                         [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        task();
+        lock.lock();
+      }
+    });
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) return;
+    if (!started_) start_locked();
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+}  // namespace effitest::parallel

@@ -1,0 +1,58 @@
+#pragma once
+// Process-wide shared worker pool.
+//
+// The pool is lazily started: constructing or querying it spawns no threads;
+// the workers come up on the first submit(). Every parallel section of the
+// library (the Monte-Carlo chip loop, the covariance fill, hold-bound
+// sampling, Procedure-1 PCA, the campaign runner) shares this one pool, so
+// nested parallelism never multiplies OS threads — the process runs at most
+// `width()` pool workers regardless of how many loops are in flight.
+//
+// Tasks are fire-and-forget and must never block on the pool's own progress.
+// `parallel::deterministic_for` (the only in-tree submitter) obeys this by
+// construction: its caller claims work shards itself, so a task that is
+// scheduled late — or never — is a harmless no-op.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace effitest::parallel {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool. Safe to call from any thread; does not start
+  /// workers by itself.
+  [[nodiscard]] static ThreadPool& shared();
+
+  /// Worker count once started: max(2, hardware concurrency), so explicit
+  /// multi-thread requests exercise real concurrency even on 1-core hosts.
+  [[nodiscard]] std::size_t width() const { return width_; }
+
+  /// Enqueue a task. Starts the workers on first use. During shutdown the
+  /// task is dropped (submitters must not rely on pool pickup for progress).
+  void submit(std::function<void()> task);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+ private:
+  explicit ThreadPool(std::size_t width);
+  void start_locked();
+
+  const std::size_t width_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace effitest::parallel

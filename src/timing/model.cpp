@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <thread>
+
+#include "parallel/deterministic_for.hpp"
 
 namespace effitest::timing {
 
@@ -189,33 +190,25 @@ double CircuitModel::max_cov(std::size_t i, std::size_t j) const {
   return cov;
 }
 
-linalg::Matrix CircuitModel::max_covariance() const {
+linalg::Matrix CircuitModel::max_covariance(std::size_t threads) const {
   const std::size_t n = pairs_.size();
   linalg::Matrix cov(n, n);
-  // Row-parallel upper-triangle fill; rows are interleaved across workers so
-  // the shrinking triangle stays balanced.
-  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
-  const std::size_t n_threads =
-      (n < 256) ? 1 : std::min<std::size_t>(hw, n);
-  const auto fill_rows = [&](std::size_t start) {
-    for (std::size_t i = start; i < n; i += n_threads) {
-      for (std::size_t j = i; j < n; ++j) {
-        const double c = max_cov(i, j);
-        cov(i, j) = c;
-        cov(j, i) = c;
-      }
+  // Row-sharded upper-triangle fill on the shared pool. Row i writes only
+  // its own row tail and the mirrored column cells, so rows are free of
+  // write conflicts; dynamic chunk claiming keeps the shrinking triangle
+  // balanced. Every cell is a pure function of the model, so the matrix is
+  // bit-identical for any worker count. Small matrices stay serial — the
+  // per-row work is too cheap to amortize scheduling below ~256 rows.
+  parallel::ForOptions fopts;
+  fopts.threads = threads;
+  fopts.serial_below = 256;
+  parallel::deterministic_for(n, fopts, [&](std::size_t i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double c = max_cov(i, j);
+      cov(i, j) = c;
+      cov(j, i) = c;
     }
-  };
-  if (n_threads <= 1) {
-    fill_rows(0);
-  } else {
-    std::vector<std::thread> workers;
-    workers.reserve(n_threads);
-    for (std::size_t t = 0; t < n_threads; ++t) {
-      workers.emplace_back(fill_rows, t);
-    }
-    for (std::thread& w : workers) w.join();
-  }
+  });
   return cov;
 }
 

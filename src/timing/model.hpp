@@ -106,8 +106,11 @@ class CircuitModel {
   [[nodiscard]] std::vector<double> max_means() const;
   /// Prior sigmas of monitored max delays.
   [[nodiscard]] std::vector<double> max_sigmas() const;
-  /// Joint covariance of monitored max delays (paper's Sigma).
-  [[nodiscard]] linalg::Matrix max_covariance() const;
+  /// Joint covariance of monitored max delays (paper's Sigma). The fill is
+  /// fanned out over the shared pool (`threads` workers; 0 = pool width,
+  /// 1 = serial); every cell is a pure function of the model, so the matrix
+  /// is bit-identical for any value.
+  [[nodiscard]] linalg::Matrix max_covariance(std::size_t threads = 0) const;
 
   /// Covariance between two monitored pairs' max forms.
   [[nodiscard]] double max_cov(std::size_t i, std::size_t j) const;

@@ -10,13 +10,19 @@
 //             Analytic (Clark) vs Monte-Carlo untuned-period distribution.
 //   run       --bench=... [--buffers=N] | --circuit=<name>
 //             [--chips=N] [--td=ps] [--quantile=q] [--no-prediction]
-//             [--no-alignment] [--seed=S]
+//             [--no-alignment] [--seed=S] [--threads=N]
 //             Run the full EffiTest flow and print the metrics.
+//   campaign  [--circuits=a,b,...] [--quantiles=q1,q2,...] [--chips=N]
+//             [--seed=S] [--threads=N] [--inflation=k]
+//             Fan whole-circuit / T_d-sweep jobs out across all cores with
+//             FlowArtifacts reuse (Table 1/2-style multi-circuit runs from
+//             one invocation).
 //
 // Examples:
 //   effitest_cli generate --circuit=s9234 --out=/tmp/s9234_like.bench
 //   effitest_cli run --circuit=s13207 --chips=2000
 //   effitest_cli run --bench=/tmp/s9234_like.bench --buffers=2
+//   effitest_cli campaign --circuits=s9234,s13207 --quantiles=0.5,0.8413
 
 #include <algorithm>
 #include <iostream>
@@ -24,6 +30,7 @@
 #include <optional>
 #include <string>
 
+#include "core/campaign.hpp"
 #include "core/flow.hpp"
 #include "core/table.hpp"
 #include "netlist/bench_parser.hpp"
@@ -77,7 +84,9 @@ commands:
   ssta     --bench=file | --circuit=<name> [--chips=N]
   run      --bench=file [--buffers=N] | --circuit=<name>
            [--chips=N] [--td=ps] [--quantile=q] [--seed=S]
-           [--no-prediction] [--no-alignment]
+           [--no-prediction] [--no-alignment] [--threads=N]
+  campaign [--circuits=a,b,...] [--quantiles=q1,q2,...] [--chips=N]
+           [--seed=S] [--threads=N] [--inflation=k]
 paper circuits: s9234 s13207 s15850 s38584 mem_ctrl usb_funct ac97_ctrl pci_bridge32
 )";
 }
@@ -226,8 +235,11 @@ int cmd_run(const Cli& cli) {
   if (const auto td = cli.get("td")) opts.designated_period = std::stod(*td);
   opts.use_prediction = !cli.has_flag("no-prediction");
   opts.test.align_with_buffers = !cli.has_flag("no-alignment");
+  if (const auto threads = cli.get("threads")) {
+    opts.threads = std::stoul(*threads);
+  }
   if (const auto q = cli.get("quantile")) {
-    stats::Rng rng(opts.seed ^ 0x7157);
+    stats::Rng rng(opts.seed ^ core::kQuantileCalibrationSeedXor);
     opts.designated_period =
         core::period_quantile(problem, std::stod(*q), 2000, rng);
   }
@@ -256,6 +268,79 @@ int cmd_run(const Cli& cli) {
   return 0;
 }
 
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string piece = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!piece.empty()) out.push_back(piece);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int cmd_campaign(const Cli& cli) {
+  core::CampaignOptions copts;
+  if (const auto chips = cli.get("chips")) {
+    copts.flow.chips = std::stoul(*chips);
+  }
+  if (const auto seed = cli.get("seed")) copts.flow.seed = std::stoull(*seed);
+  if (const auto threads = cli.get("threads")) {
+    copts.threads = std::stoul(*threads);  // flow.threads of 0 inherits this
+  }
+  if (const auto inflation = cli.get("inflation")) {
+    copts.random_inflation = std::stod(*inflation);
+  }
+
+  std::vector<std::string> circuits;
+  if (const auto names = cli.get("circuits")) {
+    circuits = split_list(*names);
+  } else {
+    for (const netlist::GeneratorSpec& spec : netlist::paper_benchmark_specs()) {
+      circuits.push_back(spec.name);
+    }
+  }
+  std::vector<double> quantiles;
+  if (const auto qs = cli.get("quantiles")) {
+    for (const std::string& q : split_list(*qs)) quantiles.push_back(std::stod(q));
+  }
+
+  const std::vector<core::CampaignJob> jobs =
+      core::CampaignRunner::cross(circuits, quantiles);
+  const core::CampaignResult result = core::CampaignRunner(copts).run(jobs);
+
+  core::Table t({"circuit", "q", "Td(ps)", "np", "npt", "ta", "ra(%)",
+                 "yt(%)", "yi(%)", "y0(%)", "job(s)"});
+  for (const core::CampaignJobResult& r : result.jobs) {
+    const core::FlowMetrics& m = r.metrics;
+    t.add_row({
+        r.job.circuit,
+        r.job.quantile >= 0.0 ? core::Table::num(r.job.quantile, 4) : "T1",
+        core::Table::num(m.designated_period, 2),
+        core::Table::num(m.np),
+        core::Table::num(m.npt),
+        core::Table::num(m.ta, 2),
+        core::Table::num(m.ra, 2),
+        core::Table::num(m.yield_proposed * 100, 2),
+        core::Table::num(m.yield_ideal * 100, 2),
+        core::Table::num(m.yield_no_buffer * 100, 2),
+        core::Table::num(r.seconds, 2),
+    });
+  }
+  t.print(std::cout);
+  double job_seconds = 0.0;
+  for (const core::CampaignJobResult& r : result.jobs) job_seconds += r.seconds;
+  std::cout << "\ncampaign wall time: "
+            << core::Table::num(result.total_seconds, 2) << " s ("
+            << result.jobs.size() << " jobs, "
+            << core::Table::num(job_seconds, 2)
+            << " s of job time; artifacts reused within circuits)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -265,6 +350,7 @@ int main(int argc, char** argv) {
     if (cli.command == "info") return cmd_info(cli);
     if (cli.command == "ssta") return cmd_ssta(cli);
     if (cli.command == "run") return cmd_run(cli);
+    if (cli.command == "campaign") return cmd_campaign(cli);
     usage();
     return cli.command.empty() ? 1 : 2;
   } catch (const std::exception& e) {
