@@ -1,0 +1,108 @@
+#include "bench_json.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace effitest::bench {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c);
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string git_sha() {
+#ifdef EFFITEST_GIT_SHA
+  return EFFITEST_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+JsonReporter::JsonReporter(std::string name, std::size_t threads)
+    : name_(std::move(name)), threads_(threads) {}
+
+void JsonReporter::add(const std::string& circuit, const std::string& metric,
+                       double value, double wall_seconds) {
+  records_.push_back(Record{circuit, metric, value, wall_seconds});
+}
+
+std::string JsonReporter::write(const std::string& dir) const {
+  std::string out_dir = dir;
+  if (out_dir.empty()) {
+    if (const char* env = std::getenv("EFFITEST_BENCH_DIR")) out_dir = env;
+  }
+  std::string path = "BENCH_" + name_ + ".json";
+  if (!out_dir.empty()) path = out_dir + "/" + path;
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema\": \"effitest-bench-v1\",\n"
+     << "  \"bench\": \"" << json_escape(name_) << "\",\n"
+     << "  \"git_sha\": \"" << json_escape(git_sha()) << "\",\n"
+     << "  \"threads\": " << threads_ << ",\n"
+     << "  \"records\": [";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    os << (i == 0 ? "\n" : ",\n")
+       << "    { \"circuit\": \"" << json_escape(r.circuit) << "\","
+       << " \"metric\": \"" << json_escape(r.metric) << "\","
+       << " \"value\": " << json_number(r.value) << ","
+       << " \"wall_seconds\": " << json_number(r.wall_seconds) << " }";
+  }
+  os << (records_.empty() ? "]\n" : "\n  ]\n") << "}\n";
+
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("JsonReporter: cannot open " + path);
+  }
+  file << os.str();
+  if (!file.good()) {
+    throw std::runtime_error("JsonReporter: write failed for " + path);
+  }
+  return path;
+}
+
+}  // namespace effitest::bench

@@ -1,0 +1,67 @@
+#pragma once
+// Machine-readable bench output: every harness binary emits a
+// BENCH_<name>.json next to its human-readable table so CI (and any other
+// tooling) can gate on the numbers instead of scraping stdout.
+//
+// Schema ("effitest-bench-v1"; see EXPERIMENTS.md for the full contract and
+// tools/check_bench_json.py for the validator CI runs):
+//
+//   {
+//     "schema":  "effitest-bench-v1",
+//     "bench":   "table1",               // short bench name
+//     "git_sha": "<configure-time sha>", // "unknown" outside a git checkout
+//     "threads": 2,                      // the --threads the bench ran with
+//     "records": [
+//       { "circuit": "s9234", "metric": "ra",
+//         "value": 96.27, "wall_seconds": 0.15 },
+//       ...
+//     ]
+//   }
+//
+// `wall_seconds` is the wall time of the run that produced the metric (one
+// campaign job, one timed kernel loop, ...); metrics sharing a run repeat
+// it. Values are written with max_digits10 precision so the deterministic
+// metrics (ra, t'v, yields — bit-identical for any thread count) round-trip
+// exactly; non-finite values serialize as null and fail schema validation,
+// which is the point.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace effitest::bench {
+
+/// Configure-time git revision (EFFITEST_GIT_SHA compile definition), or
+/// "unknown" when the build did not come from a git checkout.
+[[nodiscard]] std::string git_sha();
+
+class JsonReporter {
+ public:
+  /// `name` is the short bench name ("table1", "micro_solvers", ...): the
+  /// file is written as BENCH_<name>.json. `threads` records the harness
+  /// --threads value (0 = all cores).
+  JsonReporter(std::string name, std::size_t threads);
+
+  /// Append one (circuit, metric, value) record. `wall_seconds` is the
+  /// wall time of the run the metric came from.
+  void add(const std::string& circuit, const std::string& metric,
+           double value, double wall_seconds = 0.0);
+
+  /// Write BENCH_<name>.json into `dir` (default: the EFFITEST_BENCH_DIR
+  /// environment variable, falling back to the current directory).
+  /// Returns the path written. Throws std::runtime_error on I/O failure.
+  std::string write(const std::string& dir = "") const;
+
+ private:
+  struct Record {
+    std::string circuit;
+    std::string metric;
+    double value = 0.0;
+    double wall_seconds = 0.0;
+  };
+  std::string name_;
+  std::size_t threads_ = 0;
+  std::vector<Record> records_;
+};
+
+}  // namespace effitest::bench

@@ -16,6 +16,7 @@
 // reproduction targets (ra > 94% on every circuit in the paper).
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/campaign.hpp"
 
 int main(int argc, char** argv) {
@@ -44,8 +45,21 @@ int main(int argc, char** argv) {
   const core::CampaignResult result =
       core::CampaignRunner(copts).run(core::CampaignRunner::cross(names, {}));
 
+  bench::JsonReporter json("table1", args.threads);
   for (const core::CampaignJobResult& job : result.jobs) {
     const core::FlowMetrics& m = job.metrics;
+    const auto record = [&](const char* metric, double value) {
+      json.add(job.job.circuit, metric, value, job.seconds);
+    };
+    record("np", static_cast<double>(m.np));
+    record("npt", static_cast<double>(m.npt));
+    record("ta", m.ta);
+    record("tv", m.tv);
+    record("t'a", m.ta_pathwise);
+    record("t'v", m.tv_pathwise);
+    record("ra", m.ra);
+    record("rv", m.rv);
+    record("wall_seconds", job.seconds);
     table.add_row({
         job.job.circuit,
         core::Table::num(m.ns),
@@ -68,6 +82,7 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper reference (10000 chips): ra = 94.71..99.29%, "
                "rv = 57.59..75.15%, tv = 2.05..3.69.\n"
             << "campaign wall time: "
-            << core::Table::num(result.total_seconds, 2) << " s\n";
+            << core::Table::num(result.total_seconds, 2) << " s\n"
+            << "machine-readable output: " << json.write() << "\n";
   return 0;
 }

@@ -10,6 +10,7 @@
 // The paper reports yr around 1-2% with yi far above the no-buffer yields.
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "core/campaign.hpp"
 
 int main(int argc, char** argv) {
@@ -39,9 +40,18 @@ int main(int argc, char** argv) {
   const core::CampaignResult result = core::CampaignRunner(copts).run(
       core::CampaignRunner::cross(names, {0.5, 0.8413}));
 
+  bench::JsonReporter json("table2", args.threads);
   for (std::size_t c = 0; c < names.size(); ++c) {
     const core::FlowMetrics& t1 = result.jobs[2 * c].metrics;
     const core::FlowMetrics& t2 = result.jobs[2 * c + 1].metrics;
+    json.add(names[c], "t1_yield_ideal", t1.yield_ideal * 100.0,
+             result.jobs[2 * c].seconds);
+    json.add(names[c], "t1_yield_proposed", t1.yield_proposed * 100.0,
+             result.jobs[2 * c].seconds);
+    json.add(names[c], "t2_yield_ideal", t2.yield_ideal * 100.0,
+             result.jobs[2 * c + 1].seconds);
+    json.add(names[c], "t2_yield_proposed", t2.yield_proposed * 100.0,
+             result.jobs[2 * c + 1].seconds);
     table.add_row({
         names[c],
         bench::pct(t1.yield_ideal),
@@ -59,6 +69,7 @@ int main(int argc, char** argv) {
                "T2 yi = 94.33..98.48, yr = 0.23..2.18;\n"
                "untuned yields 50% (T1) and 84.13% (T2) by construction.\n"
             << "campaign wall time: "
-            << core::Table::num(result.total_seconds, 2) << " s\n";
+            << core::Table::num(result.total_seconds, 2) << " s\n"
+            << "machine-readable output: " << json.write() << "\n";
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
 #include "parallel/deterministic_for.hpp"
@@ -85,12 +86,20 @@ FlowArtifacts prepare_flow(const Problem& problem, const FlowOptions& options,
     art.batches =
         build_batches(problem, cluster_major(tested_by_group), batching);
 
+    // The chip-independent prediction gain (Cholesky of Sigma_t + W +
+    // posterior sigmas) is a function of (cov, tested) only: compute it
+    // once here and hand the same shared object to slot filling and the
+    // final predictor. When slot filling inserts nothing, the measured set
+    // is unchanged and the factorization is NOT redone — and every chip,
+    // reused flow and same-circuit campaign job predicts through this one
+    // object (sharing, not copying; see DESIGN.md §2/§9).
+    std::shared_ptr<const stats::PredictionGain> gain;
     if (options.fill_slots && art.tested.size() < np) {
       // Rank untested paths by posterior sigma (eq. 5 — measurement
       // independent) and pour the worst-predicted ones into empty slots.
-      const DelayPredictor coarse(cov, means, art.tested);
-      const auto& predicted = coarse.predicted_indices();
-      const auto& psigma = coarse.posterior_sigma();
+      gain = stats::PredictionGain::compute(cov, art.tested, /*jitter=*/1e-9);
+      const auto& predicted = gain->predicted;
+      const auto& psigma = gain->posterior_sigma;
       std::vector<std::size_t> order(predicted.size());
       std::iota(order.begin(), order.end(), std::size_t{0});
       std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -101,11 +110,18 @@ FlowArtifacts prepare_flow(const Problem& problem, const FlowOptions& options,
       for (std::size_t k : order) candidates.push_back(predicted[k]);
       const std::vector<std::size_t> inserted = fill_empty_slots(
           problem, art.batches, candidates, batching, means);
-      art.tested.insert(art.tested.end(), inserted.begin(), inserted.end());
-      std::sort(art.tested.begin(), art.tested.end());
+      if (!inserted.empty()) {
+        art.tested.insert(art.tested.end(), inserted.begin(), inserted.end());
+        std::sort(art.tested.begin(), art.tested.end());
+        gain.reset();  // measured set changed; refactorize below
+      }
     }
     if (art.tested.size() < np) {
-      art.predictor.emplace(cov, means, art.tested);
+      if (gain == nullptr) {
+        gain =
+            stats::PredictionGain::compute(cov, art.tested, /*jitter=*/1e-9);
+      }
+      art.predictor.emplace(std::move(gain), means);
     }
   } else {
     // No statistical prediction (Fig. 8 modes): every path is tested, but
@@ -195,7 +211,8 @@ FlowResult run_flow(const Problem& problem, const FlowOptions& options,
   const auto process_chip = [&](std::size_t c, stats::Rng& chip_rng,
                                 Tally& tally) {
     (void)c;
-    const timing::Chip chip = model.sample_chip(chip_rng);
+    thread_local timing::SampleWorkspace sample_ws;
+    const timing::Chip chip = model.sample_chip(chip_rng, sample_ws);
 
     TestRunResult test = run_delay_test(problem, chip, art.batches,
                                         art.prior_lower, art.prior_upper,

@@ -158,10 +158,15 @@ HoldMarginSamples sample_hold_margins(const Problem& problem, stats::Rng& rng,
   parallel::deterministic_for(
       options.samples, fopts, sample_seed_base,
       [&](std::size_t k, stats::Rng& sample_rng) {
-        const timing::Chip chip = model.sample_chip(sample_rng);
+        // Min-delays-only sampling (same per-sample stream as a full
+        // sample_chip) on per-worker reusable buffers: this loop reads
+        // nothing but the hold margins.
+        thread_local timing::SampleWorkspace ws;
+        thread_local std::vector<double> min_delay;
+        model.sample_min_delays(sample_rng, ws, min_delay);
         out.delta[k].resize(out.exposed.size());
         for (std::size_t e = 0; e < out.exposed.size(); ++e) {
-          out.delta[k][e] = h - chip.min_delay[out.exposed[e]];
+          out.delta[k][e] = h - min_delay[out.exposed[e]];
         }
       });
   return out;

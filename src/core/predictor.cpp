@@ -16,6 +16,31 @@ DelayPredictor::DelayPredictor(const linalg::Matrix& covariance,
   }
 }
 
+namespace {
+
+const std::vector<std::size_t>& checked_measured(
+    const std::shared_ptr<const stats::PredictionGain>& gain) {
+  if (gain == nullptr) {
+    throw std::invalid_argument("DelayPredictor: null PredictionGain");
+  }
+  return gain->measured;
+}
+
+}  // namespace
+
+DelayPredictor::DelayPredictor(
+    std::shared_ptr<const stats::PredictionGain> gain,
+    std::vector<double> means)
+    : means_(std::move(means)),
+      tested_(checked_measured(gain)),
+      conditional_(std::move(gain)),
+      num_paths_(conditional_.measured_indices().size() +
+                 conditional_.predicted_indices().size()) {
+  if (means_.size() != num_paths_) {
+    throw std::invalid_argument("DelayPredictor: means/gain size mismatch");
+  }
+}
+
 const std::vector<std::size_t>& DelayPredictor::tested_indices() const {
   return conditional_.measured_indices();
 }

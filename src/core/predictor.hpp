@@ -8,6 +8,7 @@
 // delay is mu'_k +/- 3 sigma'_k.
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -30,6 +31,20 @@ class DelayPredictor {
   /// column Ts of Table 1, is negligible).
   DelayPredictor(const linalg::Matrix& covariance, std::vector<double> means,
                  std::vector<std::size_t> tested);
+
+  /// Adopt an already-computed (and possibly shared) prediction gain — no
+  /// factorization happens. `means` covers all paths; the tested set is the
+  /// gain's measured set. This is how FlowArtifacts shares one gain across
+  /// chips, reused flows and campaign jobs.
+  DelayPredictor(std::shared_ptr<const stats::PredictionGain> gain,
+                 std::vector<double> means);
+
+  /// The shared chip-independent gain (Cholesky of Sigma_t + W + posterior
+  /// sigmas).
+  [[nodiscard]] const std::shared_ptr<const stats::PredictionGain>&
+  shared_gain() const {
+    return conditional_.shared_gain();
+  }
 
   [[nodiscard]] const std::vector<std::size_t>& tested_indices() const;
   [[nodiscard]] const std::vector<std::size_t>& predicted_indices() const;

@@ -97,9 +97,14 @@ TestRunResult run_delay_test(const Problem& problem, const timing::Chip& chip,
           out.lower[p] = std::max(out.lower[p], effective);
         }
         // Test escapes (true delay outside the prior range) can cross the
-        // bounds; clamp conservatively.
+        // bounds; clamp conservatively. A pinched range (bounds crossed or
+        // met) carries no width left to bisect, so the pair resolves
+        // regardless of epsilon — otherwise a non-positive epsilon would
+        // keep it active until the safety stop force-resolves it after
+        // max_iterations_per_batch wasted tester steps.
         if (out.upper[p] < out.lower[p]) out.lower[p] = out.upper[p];
-        if (out.upper[p] - out.lower[p] < options.epsilon_ps) {
+        if (out.upper[p] <= out.lower[p] ||
+            out.upper[p] - out.lower[p] < options.epsilon_ps) {
           out.tested[p] = true;
         } else {
           still_active.push_back(p);

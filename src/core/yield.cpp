@@ -83,9 +83,12 @@ double period_quantile(const Problem& problem, double q, std::size_t chips,
   if (chips == 0) throw std::invalid_argument("period_quantile: chips == 0");
   std::vector<double> required;
   required.reserve(chips);
+  // Max-delays-only sampling on a reused workspace: same rng stream and
+  // same values as sampling full chips, without the hold-path evaluations
+  // and per-chip allocations this loop never reads.
+  timing::SampleWorkspace ws;
   for (std::size_t c = 0; c < chips; ++c) {
-    const timing::Chip chip = problem.model().sample_chip(rng);
-    required.push_back(untuned_required_period(problem, chip));
+    required.push_back(problem.model().sample_required_period(rng, ws));
   }
   return stats::quantile(std::move(required), q);
 }

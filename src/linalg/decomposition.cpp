@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstddef>
 
+#include "linalg/kernels.hpp"
+
 namespace effitest::linalg {
 
 std::vector<double> Cholesky::solve(std::span<const double> b) const {
@@ -10,12 +12,16 @@ std::vector<double> Cholesky::solve(std::span<const double> b) const {
 }
 
 Matrix Cholesky::solve(const Matrix& b) const {
-  Matrix x(b.rows(), b.cols());
-  for (std::size_t c = 0; c < b.cols(); ++c) {
-    const std::vector<double> col = b.column(c);
-    const std::vector<double> sol = solve(col);
-    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  if (b.rows() != l.rows()) {
+    throw LinalgError("Cholesky::solve dimension mismatch");
   }
+  // Blocked multi-right-hand-side solve: all columns advance together
+  // through one forward and one backward sweep (kernels::trsm_*), instead
+  // of the seed's per-column gather/substitute/scatter. Per element the
+  // substitution order is unchanged, so results are bit-identical.
+  Matrix x = b;
+  kernels::trsm_lower(l, x);
+  kernels::trsm_lower_transposed(l, x);
   return x;
 }
 
@@ -25,37 +31,17 @@ double Cholesky::log_det() const {
   return 2.0 * acc;
 }
 
-namespace {
-
-// Single factorization attempt; returns false if a non-positive pivot is hit.
-bool try_cholesky(const Matrix& a, double diag_add, Matrix& l_out) {
-  const std::size_t n = a.rows();
-  Matrix l(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j) + diag_add;
-    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (diag <= 0.0 || !std::isfinite(diag)) return false;
-    const double ljj = std::sqrt(diag);
-    l(j, j) = ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double v = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
-      l(i, j) = v / ljj;
-    }
-  }
-  l_out = std::move(l);
-  return true;
-}
-
-}  // namespace
-
 Cholesky cholesky(const Matrix& a, double jitter) {
   if (!a.is_square()) throw LinalgError("cholesky requires square matrix");
+  // Blocked right-looking factorization (kernels::cholesky_blocked); the
+  // per-element operation order matches the seed left-looking loop, so the
+  // factor is bit-identical while the trailing updates get register/cache
+  // blocking and the pool.
   Matrix l;
-  if (try_cholesky(a, 0.0, l)) return Cholesky{std::move(l)};
+  if (kernels::cholesky_blocked(a, 0.0, l)) return Cholesky{std::move(l)};
   if (jitter > 0.0) {
     for (double add = jitter; add <= 100.0 * jitter; add *= 10.0) {
-      if (try_cholesky(a, add, l)) return Cholesky{std::move(l)};
+      if (kernels::cholesky_blocked(a, add, l)) return Cholesky{std::move(l)};
     }
   }
   throw LinalgError("cholesky: matrix is not positive definite");

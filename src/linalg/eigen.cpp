@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/kernels.hpp"
+
 namespace effitest::linalg {
 
 std::size_t EigenDecomposition::components_for_coverage(double coverage) const {
@@ -56,24 +58,9 @@ EigenDecomposition eigen_symmetric(Matrix a, std::size_t max_sweeps,
         const double c = 1.0 / std::sqrt(t * t + 1.0);
         const double s = t * c;
 
-        for (std::size_t k = 0; k < n; ++k) {
-          const double akp = a(k, p);
-          const double akq = a(k, q);
-          a(k, p) = c * akp - s * akq;
-          a(k, q) = s * akp + c * akq;
-        }
-        for (std::size_t k = 0; k < n; ++k) {
-          const double apk = a(p, k);
-          const double aqk = a(q, k);
-          a(p, k) = c * apk - s * aqk;
-          a(q, k) = s * apk + c * aqk;
-        }
-        for (std::size_t k = 0; k < n; ++k) {
-          const double vkp = v(k, p);
-          const double vkq = v(k, q);
-          v(k, p) = c * vkp - s * vkq;
-          v(k, q) = s * vkp + c * vkq;
-        }
+        kernels::rotate_cols(a, p, q, c, s);
+        kernels::rotate_rows(a, p, q, c, s);
+        kernels::rotate_cols(v, p, q, c, s);
       }
     }
   }

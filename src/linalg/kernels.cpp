@@ -1,0 +1,382 @@
+#include "linalg/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "linalg/decomposition.hpp"
+
+namespace effitest::linalg::kernels {
+
+namespace {
+
+/// Serialize the fan-out when the flop count cannot amortize pool
+/// scheduling. Purely an overhead knob — results are identical either way.
+[[nodiscard]] std::size_t fanout_threads(std::size_t flops,
+                                         const KernelOptions& opts) {
+  return flops < kSerialFlops ? 1 : opts.threads;
+}
+
+}  // namespace
+
+Matrix matmul(const Matrix& a, const Matrix& b, const KernelOptions& opts) {
+  if (a.cols() != b.rows()) {
+    throw LinalgError("kernels::matmul dimension mismatch");
+  }
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t n = b.cols();
+  Matrix out(m, n);
+  if (m == 0 || n == 0 || kk == 0) return out;
+
+  const double* pa = a.data().data();
+  const double* pb = b.data().data();
+  double* pc = out.data().data();
+
+  const std::size_t row_blocks = (m + kRowBlock - 1) / kRowBlock;
+  parallel::ForOptions fopts;
+  fopts.threads = fanout_threads(m * n * kk, opts);
+  parallel::deterministic_for(row_blocks, fopts, [&](std::size_t rb) {
+    const std::size_t i0 = rb * kRowBlock;
+    const std::size_t i1 = std::min(i0 + kRowBlock, m);
+    // j/k tiling keeps a kRowBlock x kColBlock panel of B cache-resident
+    // while the row block of A streams over it. Each out(i, j) accumulates
+    // k ascending (j tile fixed, k tiles ascending, k within a tile
+    // ascending), exactly the reference i-k-j order.
+    for (std::size_t j0 = 0; j0 < n; j0 += kColBlock) {
+      const std::size_t j1 = std::min(j0 + kColBlock, n);
+      for (std::size_t k0 = 0; k0 < kk; k0 += kRowBlock) {
+        const std::size_t k1 = std::min(k0 + kRowBlock, kk);
+        for (std::size_t i = i0; i < i1; ++i) {
+          const double* arow = pa + i * kk;
+          double* crow = pc + i * n;
+          for (std::size_t k = k0; k < k1; ++k) {
+            const double aik = arow[k];
+            const double* brow = pb + k * n;
+            for (std::size_t j = j0; j < j1; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Matrix syrk(const Matrix& a, const KernelOptions& opts) {
+  const std::size_t n = a.rows();
+  const std::size_t kk = a.cols();
+  Matrix out(n, n);
+  if (n == 0) return out;
+  const double* pa = a.data().data();
+
+  const std::size_t blocks = (n + kRowBlock - 1) / kRowBlock;
+  std::vector<std::pair<std::size_t, std::size_t>> tiles;
+  tiles.reserve(blocks * (blocks + 1) / 2);
+  for (std::size_t ib = 0; ib < blocks; ++ib) {
+    for (std::size_t jb = 0; jb <= ib; ++jb) tiles.emplace_back(ib, jb);
+  }
+
+  parallel::ForOptions fopts;
+  fopts.threads = fanout_threads(n * n * kk / 2, opts);
+  parallel::deterministic_for(tiles.size(), fopts, [&](std::size_t t) {
+    const auto [ib, jb] = tiles[t];
+    const std::size_t i1 = std::min((ib + 1) * kRowBlock, n);
+    const std::size_t jend = std::min((jb + 1) * kRowBlock, n);
+    for (std::size_t i = ib * kRowBlock; i < i1; ++i) {
+      const double* ri = pa + i * kk;
+      const std::size_t j1 = std::min(jend, i + 1);
+      std::size_t j = jb * kRowBlock;
+      // Four independent accumulator chains interleave so the FMA pipeline
+      // stays full; each chain is one element's k-ascending dot product.
+      for (; j + 4 <= j1; j += 4) {
+        const double* r0 = pa + j * kk;
+        const double* r1 = pa + (j + 1) * kk;
+        const double* r2 = pa + (j + 2) * kk;
+        const double* r3 = pa + (j + 3) * kk;
+        double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+        for (std::size_t k = 0; k < kk; ++k) {
+          const double v = ri[k];
+          acc0 += v * r0[k];
+          acc1 += v * r1[k];
+          acc2 += v * r2[k];
+          acc3 += v * r3[k];
+        }
+        out(i, j) = acc0;
+        out(j, i) = acc0;
+        out(i, j + 1) = acc1;
+        out(j + 1, i) = acc1;
+        out(i, j + 2) = acc2;
+        out(j + 2, i) = acc2;
+        out(i, j + 3) = acc3;
+        out(j + 3, i) = acc3;
+      }
+      for (; j < j1; ++j) {
+        const double* rj = pa + j * kk;
+        double acc = 0.0;
+        for (std::size_t k = 0; k < kk; ++k) acc += ri[k] * rj[k];
+        out(i, j) = acc;
+        out(j, i) = acc;
+      }
+    }
+  });
+  return out;
+}
+
+void trsm_lower(const Matrix& l, Matrix& b, const KernelOptions& opts) {
+  const std::size_t n = l.rows();
+  if (!l.is_square() || b.rows() != n) {
+    throw LinalgError("kernels::trsm_lower dimension mismatch");
+  }
+  const std::size_t m = b.cols();
+  if (n == 0 || m == 0) return;
+  const double* pl = l.data().data();
+  double* pb = b.data().data();
+
+  const std::size_t col_blocks = (m + kColBlock - 1) / kColBlock;
+  parallel::ForOptions fopts;
+  fopts.threads = fanout_threads(n * n * m / 2, opts);
+  parallel::deterministic_for(col_blocks, fopts, [&](std::size_t cb) {
+    const std::size_t c0 = cb * kColBlock;
+    const std::size_t c1 = std::min(c0 + kColBlock, m);
+    // All right-hand sides of the block advance together: the inner loop
+    // over columns is contiguous and vectorizes, and L streams through
+    // cache once per block instead of once per column. Element (i, c)
+    // still subtracts k = 0..i-1 in ascending order and divides last —
+    // the per-column forward_substitute order.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* lrow = pl + i * n;
+      double* bi = pb + i * m;
+      for (std::size_t k = 0; k < i; ++k) {
+        const double lik = lrow[k];
+        const double* bk = pb + k * m;
+        for (std::size_t c = c0; c < c1; ++c) bi[c] -= lik * bk[c];
+      }
+      const double diag = lrow[i];
+      for (std::size_t c = c0; c < c1; ++c) bi[c] /= diag;
+    }
+  });
+}
+
+void trsm_lower_transposed(const Matrix& l, Matrix& b,
+                           const KernelOptions& opts) {
+  const std::size_t n = l.rows();
+  if (!l.is_square() || b.rows() != n) {
+    throw LinalgError("kernels::trsm_lower_transposed dimension mismatch");
+  }
+  const std::size_t m = b.cols();
+  if (n == 0 || m == 0) return;
+  const double* pl = l.data().data();
+  double* pb = b.data().data();
+
+  const std::size_t col_blocks = (m + kColBlock - 1) / kColBlock;
+  parallel::ForOptions fopts;
+  fopts.threads = fanout_threads(n * n * m / 2, opts);
+  parallel::deterministic_for(col_blocks, fopts, [&](std::size_t cb) {
+    const std::size_t c0 = cb * kColBlock;
+    const std::size_t c1 = std::min(c0 + kColBlock, m);
+    for (std::size_t ii = n; ii-- > 0;) {
+      double* bi = pb + ii * m;
+      for (std::size_t k = ii + 1; k < n; ++k) {
+        const double lki = pl[k * n + ii];
+        const double* bk = pb + k * m;
+        for (std::size_t c = c0; c < c1; ++c) bi[c] -= lki * bk[c];
+      }
+      const double diag = pl[ii * n + ii];
+      for (std::size_t c = c0; c < c1; ++c) bi[c] /= diag;
+    }
+  });
+}
+
+bool cholesky_blocked(const Matrix& a, double diag_add, Matrix& l_out,
+                      const KernelOptions& opts) {
+  if (!a.is_square()) {
+    throw LinalgError("kernels::cholesky_blocked requires square matrix");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) l(i, j) = a(i, j);
+    l(i, i) = a(i, i) + diag_add;
+  }
+  double* pl = l.data().data();
+
+  parallel::ForOptions fopts;
+  fopts.threads = fanout_threads(n * n * n / 3, opts);
+
+  for (std::size_t p0 = 0; p0 < n; p0 += kRowBlock) {
+    const std::size_t p1 = std::min(p0 + kRowBlock, n);
+
+    // Panel factorization: columns [p0, p1) over all rows below. Earlier
+    // panels' contributions (k < p0) were already subtracted by the
+    // trailing updates below, so per element the subtraction order is
+    // globally k-ascending — the reference left-looking order.
+    for (std::size_t j = p0; j < p1; ++j) {
+      const double* lj = pl + j * n;
+      double diag = lj[j];
+      for (std::size_t k = p0; k < j; ++k) diag -= lj[k] * lj[k];
+      if (diag <= 0.0 || !std::isfinite(diag)) return false;
+      const double ljj = std::sqrt(diag);
+      pl[j * n + j] = ljj;
+      // Two rows per step: their chains share the l(j, k) loads and
+      // interleave, doubling FMA throughput on the panel's hot loop.
+      std::size_t i = j + 1;
+      for (; i + 2 <= n; i += 2) {
+        double* li0 = pl + i * n;
+        double* li1 = pl + (i + 1) * n;
+        double v0 = li0[j];
+        double v1 = li1[j];
+        for (std::size_t k = p0; k < j; ++k) {
+          const double ljk = lj[k];
+          v0 -= li0[k] * ljk;
+          v1 -= li1[k] * ljk;
+        }
+        li0[j] = v0 / ljj;
+        li1[j] = v1 / ljj;
+      }
+      for (; i < n; ++i) {
+        double* li = pl + i * n;
+        double v = li[j];
+        for (std::size_t k = p0; k < j; ++k) v -= li[k] * lj[k];
+        li[j] = v / ljj;
+      }
+    }
+    if (p1 >= n) break;
+
+    // Trailing update (SYRK-style): l(i, j) -= sum_{k in [p0, p1)}
+    // l(i, k) l(j, k) for the lower triangle i, j >= p1. Tiles write
+    // disjoint elements, so they fan out over the pool; within an element
+    // k ascends, keeping the global order intact.
+    const std::size_t trail = n - p1;
+    const std::size_t blocks = (trail + kRowBlock - 1) / kRowBlock;
+    std::vector<std::pair<std::size_t, std::size_t>> tiles;
+    tiles.reserve(blocks * (blocks + 1) / 2);
+    for (std::size_t ib = 0; ib < blocks; ++ib) {
+      for (std::size_t jb = 0; jb <= ib; ++jb) tiles.emplace_back(ib, jb);
+    }
+    parallel::deterministic_for(tiles.size(), fopts, [&](std::size_t t) {
+      const auto [ib, jb] = tiles[t];
+      const std::size_t i1 = std::min(p1 + (ib + 1) * kRowBlock, n);
+      const std::size_t jend = std::min(p1 + (jb + 1) * kRowBlock, n);
+      for (std::size_t i = p1 + ib * kRowBlock; i < i1; ++i) {
+        const double* li = pl + i * n;
+        double* wrow = pl + i * n;
+        const std::size_t j1 = std::min(jend, i + 1);
+        std::size_t j = p1 + jb * kRowBlock;
+        for (; j + 4 <= j1; j += 4) {
+          const double* r0 = pl + j * n;
+          const double* r1 = pl + (j + 1) * n;
+          const double* r2 = pl + (j + 2) * n;
+          const double* r3 = pl + (j + 3) * n;
+          double acc0 = wrow[j];
+          double acc1 = wrow[j + 1];
+          double acc2 = wrow[j + 2];
+          double acc3 = wrow[j + 3];
+          for (std::size_t k = p0; k < p1; ++k) {
+            const double lik = li[k];
+            acc0 -= lik * r0[k];
+            acc1 -= lik * r1[k];
+            acc2 -= lik * r2[k];
+            acc3 -= lik * r3[k];
+          }
+          wrow[j] = acc0;
+          wrow[j + 1] = acc1;
+          wrow[j + 2] = acc2;
+          wrow[j + 3] = acc3;
+        }
+        for (; j < j1; ++j) {
+          const double* rj = pl + j * n;
+          double acc = wrow[j];
+          for (std::size_t k = p0; k < p1; ++k) acc -= li[k] * rj[k];
+          wrow[j] = acc;
+        }
+      }
+    });
+  }
+  l_out = std::move(l);
+  return true;
+}
+
+void rotate_cols(Matrix& m, std::size_t p, std::size_t q, double c, double s) {
+  const std::size_t n = m.rows();
+  const std::size_t stride = m.cols();
+  double* pm = m.data().data();
+  for (std::size_t k = 0; k < n; ++k) {
+    double* row = pm + k * stride;
+    const double akp = row[p];
+    const double akq = row[q];
+    row[p] = c * akp - s * akq;
+    row[q] = s * akp + c * akq;
+  }
+}
+
+void rotate_rows(Matrix& m, std::size_t p, std::size_t q, double c, double s) {
+  const std::size_t n = m.cols();
+  double* rp = m.data().data() + p * n;
+  double* rq = m.data().data() + q * n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double apk = rp[k];
+    const double aqk = rq[k];
+    rp[k] = c * apk - s * aqk;
+    rq[k] = s * apk + c * aqk;
+  }
+}
+
+// -- Reference kernels (the seed implementations, kept verbatim) ------------
+
+Matrix reference_matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw LinalgError("Matrix * dimension mismatch");
+  }
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t n = b.cols();
+  Matrix out(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* rhs_row = b.data().data() + k * n;
+      double* out_row = out.data().data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        out_row[j] += aik * rhs_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix reference_syrk(const Matrix& a) {
+  return reference_matmul(a, a.transposed());
+}
+
+bool reference_cholesky(const Matrix& a, double diag_add, Matrix& l_out) {
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j) + diag_add;
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= l(i, k) * l(j, k);
+      l(i, j) = v / ljj;
+    }
+  }
+  l_out = std::move(l);
+  return true;
+}
+
+Matrix reference_cholesky_solve(const Matrix& l, const Matrix& b) {
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const std::vector<double> col = b.column(c);
+    const std::vector<double> y = forward_substitute(l, col);
+    const std::vector<double> sol = backward_substitute(l, y);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+}  // namespace effitest::linalg::kernels

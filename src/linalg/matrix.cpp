@@ -4,6 +4,8 @@
 #include <cmath>
 #include <ostream>
 
+#include "linalg/kernels.hpp"
+
 namespace effitest::linalg {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -123,23 +125,9 @@ Matrix& Matrix::operator*=(double s) {
 }
 
 Matrix Matrix::operator*(const Matrix& rhs) const {
-  if (cols_ != rhs.rows_) {
-    throw LinalgError("Matrix * dimension mismatch");
-  }
-  Matrix out(rows_, rhs.cols_);
-  // i-k-j loop order keeps the inner loop contiguous in both operands.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = (*this)(i, k);
-      if (aik == 0.0) continue;
-      const double* rhs_row = rhs.data_.data() + k * rhs.cols_;
-      double* out_row = out.data_.data() + i * rhs.cols_;
-      for (std::size_t j = 0; j < rhs.cols_; ++j) {
-        out_row[j] += aik * rhs_row[j];
-      }
-    }
-  }
-  return out;
+  // Blocked and (for large products) pool-parallel kernel; element values
+  // accumulate in the same k-ascending order as the historical i-k-j loop.
+  return kernels::matmul(*this, rhs);
 }
 
 std::vector<double> Matrix::operator*(std::span<const double> v) const {

@@ -3,81 +3,95 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-
-#include "linalg/decomposition.hpp"
+#include <utility>
 
 namespace effitest::stats {
 
-ConditionalGaussian::ConditionalGaussian(const linalg::Matrix& cov,
-                                         std::vector<std::size_t> measured,
-                                         double jitter)
-    : measured_(std::move(measured)) {
+std::shared_ptr<const PredictionGain> PredictionGain::compute(
+    const linalg::Matrix& cov, std::vector<std::size_t> measured,
+    double jitter) {
   const std::size_t n = cov.rows();
   if (!cov.is_square()) {
-    throw std::invalid_argument("ConditionalGaussian: covariance not square");
+    throw std::invalid_argument("PredictionGain: covariance not square");
   }
+  auto out = std::make_shared<PredictionGain>();
+  out->measured = std::move(measured);
+
   std::vector<bool> is_measured(n, false);
-  for (std::size_t idx : measured_) {
+  for (std::size_t idx : out->measured) {
     if (idx >= n) {
-      throw std::invalid_argument("ConditionalGaussian: index out of range");
+      throw std::invalid_argument("PredictionGain: index out of range");
     }
     if (is_measured[idx]) {
-      throw std::invalid_argument("ConditionalGaussian: duplicate index");
+      throw std::invalid_argument("PredictionGain: duplicate index");
     }
     is_measured[idx] = true;
   }
   for (std::size_t i = 0; i < n; ++i) {
-    if (!is_measured[i]) predicted_.push_back(i);
+    if (!is_measured[i]) out->predicted.push_back(i);
   }
 
-  const std::size_t nt = measured_.size();
-  const std::size_t nk = predicted_.size();
-
-  // Sigma_t (measured block) and Sigma_{k,t} (cross block).
-  const linalg::Matrix sigma_t = cov.select(measured_, measured_);
-  const linalg::Matrix sigma_kt = cov.select(predicted_, measured_);
+  const std::size_t nt = out->measured.size();
+  const std::size_t nk = out->predicted.size();
 
   if (nt == 0) {
     // Degenerate: nothing measured; posterior equals prior.
-    gain_ = linalg::Matrix(nk, 0);
-    posterior_sigma_.resize(nk);
+    out->gain = linalg::Matrix(nk, 0);
+    out->posterior_sigma.resize(nk);
     for (std::size_t k = 0; k < nk; ++k) {
-      posterior_sigma_[k] = std::sqrt(std::max(cov(predicted_[k], predicted_[k]), 0.0));
+      out->posterior_sigma[k] =
+          std::sqrt(std::max(cov(out->predicted[k], out->predicted[k]), 0.0));
     }
-    return;
+    return out;
   }
 
-  // W = Sigma_{k,t} Sigma_t^{-1}  computed as solving Sigma_t W^T = Sigma_{t,k}.
-  const linalg::Cholesky chol = linalg::cholesky(sigma_t, jitter);
-  const linalg::Matrix wt = chol.solve(sigma_kt.transposed());  // nt x nk
-  gain_ = wt.transposed();                                      // nk x nt
+  // Sigma_t (measured block) and Sigma_{k,t} (cross block).
+  const linalg::Matrix sigma_t = cov.select(out->measured, out->measured);
+  const linalg::Matrix sigma_kt = cov.select(out->predicted, out->measured);
 
-  posterior_sigma_.resize(nk);
+  // W = Sigma_{k,t} Sigma_t^{-1}  computed as solving Sigma_t W^T = Sigma_{t,k}.
+  out->chol_sigma_t = linalg::cholesky(sigma_t, jitter);
+  const linalg::Matrix wt =
+      out->chol_sigma_t.solve(sigma_kt.transposed());  // nt x nk
+  out->gain = wt.transposed();                         // nk x nt
+
+  out->posterior_sigma.resize(nk);
   for (std::size_t k = 0; k < nk; ++k) {
     double reduction = 0.0;
     for (std::size_t t = 0; t < nt; ++t) {
-      reduction += gain_(k, t) * sigma_kt(k, t);
+      reduction += out->gain(k, t) * sigma_kt(k, t);
     }
-    const double var = cov(predicted_[k], predicted_[k]) - reduction;
+    const double var = cov(out->predicted[k], out->predicted[k]) - reduction;
     // Numerical floor: eq. (5) guarantees var >= 0 mathematically.
-    posterior_sigma_[k] = std::sqrt(std::max(var, 0.0));
+    out->posterior_sigma[k] = std::sqrt(std::max(var, 0.0));
+  }
+  return out;
+}
+
+ConditionalGaussian::ConditionalGaussian(
+    std::shared_ptr<const PredictionGain> gain)
+    : gain_(std::move(gain)) {
+  if (gain_ == nullptr) {
+    throw std::invalid_argument("ConditionalGaussian: null PredictionGain");
   }
 }
 
 std::vector<double> ConditionalGaussian::posterior_mean(
     std::span<const double> mean, std::span<const double> observed) const {
-  if (observed.size() != measured_.size()) {
+  const auto& measured = gain_->measured;
+  const auto& predicted = gain_->predicted;
+  if (observed.size() != measured.size()) {
     throw std::invalid_argument("posterior_mean: observation size mismatch");
   }
-  std::vector<double> innovation(measured_.size());
-  for (std::size_t t = 0; t < measured_.size(); ++t) {
-    innovation[t] = observed[t] - mean[measured_[t]];
+  std::vector<double> innovation(measured.size());
+  for (std::size_t t = 0; t < measured.size(); ++t) {
+    innovation[t] = observed[t] - mean[measured[t]];
   }
-  std::vector<double> out(predicted_.size());
-  for (std::size_t k = 0; k < predicted_.size(); ++k) {
-    double acc = mean[predicted_[k]];
-    for (std::size_t t = 0; t < measured_.size(); ++t) {
-      acc += gain_(k, t) * innovation[t];
+  std::vector<double> out(predicted.size());
+  for (std::size_t k = 0; k < predicted.size(); ++k) {
+    double acc = mean[predicted[k]];
+    for (std::size_t t = 0; t < measured.size(); ++t) {
+      acc += gain_->gain(k, t) * innovation[t];
     }
     out[k] = acc;
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/kernels.hpp"
 #include "parallel/deterministic_for.hpp"
 
 namespace effitest::timing {
@@ -193,59 +194,99 @@ double CircuitModel::max_cov(std::size_t i, std::size_t j) const {
 linalg::Matrix CircuitModel::max_covariance(std::size_t threads) const {
   const std::size_t n = pairs_.size();
   linalg::Matrix cov(n, n);
-  // Row-sharded upper-triangle fill on the shared pool. Row i writes only
-  // its own row tail and the mirrored column cells, so rows are free of
-  // write conflicts; dynamic chunk claiming keeps the shrinking triangle
-  // balanced. Every cell is a pure function of the model, so the matrix is
-  // bit-identical for any worker count. Small matrices stay serial — the
-  // per-row work is too cheap to amortize scheduling below ~256 rows.
-  parallel::ForOptions fopts;
-  fopts.threads = threads;
-  fopts.serial_below = 256;
-  parallel::deterministic_for(n, fopts, [&](std::size_t i) {
-    for (std::size_t j = i; j < n; ++j) {
-      const double c = max_cov(i, j);
-      cov(i, j) = c;
-      cov(j, i) = c;
-    }
-  });
+  // Tiled upper-triangle fill through the kernel layer: tiles of the
+  // triangle fan out over the shared pool and each tile mirrors its block
+  // locally (better write locality than the former long-stride per-row
+  // mirroring). Every cell is a pure function of the model, so the matrix
+  // is bit-identical for any worker count. Small matrices stay serial —
+  // the per-cell work is too cheap to amortize scheduling below ~256 rows.
+  linalg::kernels::symmetric_fill(
+      cov, linalg::kernels::KernelOptions{threads}, /*serial_below=*/256,
+      [&](std::size_t i, std::size_t j) { return max_cov(i, j); });
   return cov;
 }
 
-Chip CircuitModel::sample_chip(stats::Rng& rng) const {
-  const std::vector<double> z = variation_.sample_factors(rng);
-  std::vector<double> mismatch(slot_var_.size());
+void CircuitModel::draw_deviates(stats::Rng& rng, SampleWorkspace& ws) const {
+  variation_.sample_factors(rng, ws.factors);
+  ws.mismatch.resize(slot_var_.size());
   for (std::size_t s = 0; s < slot_var_.size(); ++s) {
-    mismatch[s] = rng.normal(0.0, std::sqrt(slot_var_[s]));
+    ws.mismatch[s] = rng.normal(0.0, std::sqrt(slot_var_[s]));
   }
-  const auto eval_form = [&](const DelayForm& f) {
-    double d = f.mean + sparse_apply(f.loading, z);
-    // Mismatch slots are sorted but may repeat across forms; sum directly.
-    for (int slot : f.mismatch_slots) {
-      d += mismatch[static_cast<std::size_t>(slot)];
-    }
-    if (f.extra_indep_var > 0.0) {
-      d += rng.normal(0.0, std::sqrt(f.extra_indep_var));
-    }
-    return d;
-  };
+}
 
+double CircuitModel::eval_form(const DelayForm& f, const SampleWorkspace& ws,
+                               stats::Rng& rng) const {
+  double d = f.mean + sparse_apply(f.loading, ws.factors);
+  // Mismatch slots are sorted but may repeat across forms; sum directly.
+  for (int slot : f.mismatch_slots) {
+    d += ws.mismatch[static_cast<std::size_t>(slot)];
+  }
+  if (f.extra_indep_var > 0.0) {
+    d += rng.normal(0.0, std::sqrt(f.extra_indep_var));
+  }
+  return d;
+}
+
+void CircuitModel::discard_form_draw(const DelayForm& f,
+                                     stats::Rng& rng) const {
+  // Keep the stream aligned with a full sample_chip when the evaluation
+  // itself is skipped: under the Fig-7 inflation every form consumes one
+  // independent deviate in evaluation order.
+  if (f.extra_indep_var > 0.0) (void)rng.normal();
+}
+
+Chip CircuitModel::sample_chip(stats::Rng& rng) const {
+  SampleWorkspace ws;
+  return sample_chip(rng, ws);
+}
+
+Chip CircuitModel::sample_chip(stats::Rng& rng, SampleWorkspace& ws) const {
+  draw_deviates(rng, ws);
   Chip chip;
   chip.max_delay.resize(pairs_.size());
   chip.min_delay.resize(pairs_.size());
   for (std::size_t i = 0; i < pairs_.size(); ++i) {
     double worst = -std::numeric_limits<double>::infinity();
     for (const DelayForm& f : pairs_[i].max_alts) {
-      worst = std::max(worst, eval_form(f));
+      worst = std::max(worst, eval_form(f, ws, rng));
     }
     chip.max_delay[i] = worst;
-    chip.min_delay[i] = eval_form(pairs_[i].min_form);
+    chip.min_delay[i] = eval_form(pairs_[i].min_form, ws, rng);
   }
   chip.static_delay.resize(static_forms_.size());
   for (std::size_t i = 0; i < static_forms_.size(); ++i) {
-    chip.static_delay[i] = eval_form(static_forms_[i]);
+    chip.static_delay[i] = eval_form(static_forms_[i], ws, rng);
   }
   return chip;
+}
+
+double CircuitModel::sample_required_period(stats::Rng& rng,
+                                            SampleWorkspace& ws) const {
+  draw_deviates(rng, ws);
+  double worst = 0.0;
+  for (const MonitoredPair& pair : pairs_) {
+    for (const DelayForm& f : pair.max_alts) {
+      worst = std::max(worst, eval_form(f, ws, rng));
+    }
+    discard_form_draw(pair.min_form, rng);
+  }
+  for (const DelayForm& f : static_forms_) {
+    worst = std::max(worst, eval_form(f, ws, rng));
+  }
+  return worst;
+}
+
+void CircuitModel::sample_min_delays(stats::Rng& rng, SampleWorkspace& ws,
+                                     std::vector<double>& min_out) const {
+  draw_deviates(rng, ws);
+  min_out.resize(pairs_.size());
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    for (const DelayForm& f : pairs_[i].max_alts) {
+      discard_form_draw(f, rng);
+    }
+    min_out[i] = eval_form(pairs_[i].min_form, ws, rng);
+  }
+  for (const DelayForm& f : static_forms_) discard_form_draw(f, rng);
 }
 
 }  // namespace effitest::timing

@@ -68,6 +68,14 @@ struct Chip {
   std::vector<double> static_delay;
 };
 
+/// Reusable buffers for repeated die sampling (spatial factors + mismatch
+/// deviates). Purely an allocation cache: sampled values never depend on
+/// it. Keep one per worker when sampling in a loop.
+struct SampleWorkspace {
+  std::vector<double> factors;
+  std::vector<double> mismatch;
+};
+
 struct ModelOptions {
   VariationParams variation{};
   double slack_window_ps = 15.0;       ///< near-critical enumeration window
@@ -118,6 +126,24 @@ class CircuitModel {
   /// Sample the true delays of one die.
   [[nodiscard]] Chip sample_chip(stats::Rng& rng) const;
 
+  /// Same draws, same values, reusing the caller's workspace buffers.
+  [[nodiscard]] Chip sample_chip(stats::Rng& rng, SampleWorkspace& ws) const;
+
+  /// Untuned required period of one die: max over the monitored and
+  /// promoted-static max delays. Consumes exactly the same rng stream as
+  /// sample_chip (unused inflation draws are made and discarded), so
+  /// calibration loops can skip the hold/min-path evaluations they never
+  /// read without perturbing any downstream stream.
+  [[nodiscard]] double sample_required_period(stats::Rng& rng,
+                                              SampleWorkspace& ws) const;
+
+  /// Min (hold) path delays only, same stream as sample_chip; fills
+  /// `min_out` (resized to num_pairs()). The hold-bound sampler reads
+  /// nothing else, so the max/static evaluations are skipped (their
+  /// inflation draws are made and discarded).
+  void sample_min_delays(stats::Rng& rng, SampleWorkspace& ws,
+                         std::vector<double>& min_out) const;
+
   /// Number of promoted (checked but non-tunable) background pairs.
   [[nodiscard]] std::size_t num_static_pairs() const {
     return static_forms_.size();
@@ -131,6 +157,10 @@ class CircuitModel {
   [[nodiscard]] DelayForm build_form(const StructuralPath& path,
                                      double terminal_margin);
   [[nodiscard]] int mismatch_slot(int cell_id);
+  void draw_deviates(stats::Rng& rng, SampleWorkspace& ws) const;
+  [[nodiscard]] double eval_form(const DelayForm& f, const SampleWorkspace& ws,
+                                 stats::Rng& rng) const;
+  void discard_form_draw(const DelayForm& f, stats::Rng& rng) const;
   [[nodiscard]] double form_cov(const DelayForm& a, const DelayForm& b) const;
   void apply_inflation(DelayForm& f) const;
 

@@ -123,9 +123,15 @@ double VariationModel::systematic_sigma(netlist::CellType type) const {
 }
 
 std::vector<double> VariationModel::sample_factors(stats::Rng& rng) const {
-  std::vector<double> z(num_factors_);
-  for (double& v : z) v = rng.normal();
+  std::vector<double> z;
+  sample_factors(rng, z);
   return z;
+}
+
+void VariationModel::sample_factors(stats::Rng& rng,
+                                    std::vector<double>& out) const {
+  out.resize(num_factors_);
+  for (double& v : out) v = rng.normal();
 }
 
 }  // namespace effitest::timing

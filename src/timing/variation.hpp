@@ -81,6 +81,9 @@ class VariationModel {
   /// One draw of the global factor vector (iid standard normals).
   [[nodiscard]] std::vector<double> sample_factors(stats::Rng& rng) const;
 
+  /// Same draw into a reusable buffer (resized to the factor count).
+  void sample_factors(stats::Rng& rng, std::vector<double>& out) const;
+
  private:
   [[nodiscard]] int cell_index(int level, netlist::Point pos) const;
 

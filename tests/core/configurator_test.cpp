@@ -42,7 +42,6 @@ void expect_setup_feasible(const Problem& problem, std::span<const int> steps,
 
 TEST(Configurator, GenerousPeriodAlwaysFeasible) {
   Fixture f;
-  const std::size_t np = f.model.num_pairs();
   const auto means = f.model.max_means();
   std::vector<double> lower(means);
   std::vector<double> upper(means);

@@ -174,6 +174,65 @@ TEST(DelayTest, OutOfRangeTruthStillTerminates) {
   EXPECT_NEAR(r.upper[0], f.prior_upper[0], 1.0);
 }
 
+TEST(DelayTest, PinchedBoundsResolveEvenWithZeroEpsilon) {
+  // A range whose bounds meet carries no width left to bisect, so the pair
+  // must resolve at that point even when the width test can never pass
+  // (epsilon <= 0). The former behavior kept the pinched pair active for
+  // max_iterations_per_batch wasted tester steps and then reported it
+  // force-resolved.
+  Fixture f;
+  stats::Rng rng(14);
+  const timing::Chip chip = f.model.sample_chip(rng);
+  std::vector<double> lower = f.prior_lower;
+  std::vector<double> upper = f.prior_upper;
+  upper[0] = lower[0];  // zero-width prior: nothing left to measure
+  const std::vector<Batch> batches{Batch{{0}}};
+  TestOptions opts;
+  opts.epsilon_ps = 0.0;
+  const TestRunResult r =
+      run_delay_test(f.problem, chip, batches, lower, upper, {}, opts);
+  EXPECT_TRUE(r.tested[0]);
+  EXPECT_EQ(r.forced, 0u);
+  EXPECT_DOUBLE_EQ(r.lower[0], r.upper[0]);
+  // Resolution must come from the pinch, not from the safety stop.
+  EXPECT_EQ(r.iterations, 1u);
+}
+
+TEST(DelayTest, EscapeClampPinchResolvesInsteadOfForcing) {
+  // Two paths share a batch; path 1's range sits far above path 0's and its
+  // true delay is a deep escape below everything. Whenever the shared
+  // period lands in (or below) path 0's territory, path 1 passes and its
+  // upper bound clamps under its lower bound — the escape pinch. With a
+  // non-positive epsilon the width test can never resolve it, so only the
+  // pinch rule keeps it from burning max_iterations_per_batch tester
+  // steps. Path 0, bisecting a real range under epsilon = 0, is the one
+  // the safety stop must catch — and the only one.
+  Fixture f;
+  stats::Rng rng(15);
+  timing::Chip chip = f.model.sample_chip(rng);
+  std::vector<double> lower = f.prior_lower;
+  std::vector<double> upper = f.prior_upper;
+  lower[0] = 100.0;
+  upper[0] = 200.0;
+  lower[1] = 300.0;
+  upper[1] = 300.0;          // zero width: any outcome pinches it
+  chip.max_delay[0] = 150.0;
+  chip.max_delay[1] = 10.0;  // deep escape below its prior range
+  const std::vector<Batch> batches{Batch{{0, 1}}};
+  TestOptions opts;
+  opts.epsilon_ps = 0.0;
+  opts.align_with_buffers = false;
+  opts.max_iterations_per_batch = 50;
+  const TestRunResult r =
+      run_delay_test(f.problem, chip, batches, lower, upper, {}, opts);
+  EXPECT_TRUE(r.tested[1]);
+  EXPECT_DOUBLE_EQ(r.lower[1], r.upper[1]);
+  EXPECT_LE(r.upper[1], 300.0);
+  // Only path 0 (unresolvable at epsilon = 0) hits the safety stop.
+  EXPECT_TRUE(r.tested[0]);
+  EXPECT_EQ(r.forced, 1u);
+}
+
 TEST(DelayTest, BadPriorSizesThrow) {
   Fixture f;
   stats::Rng rng(11);

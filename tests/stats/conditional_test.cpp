@@ -91,6 +91,42 @@ TEST(ConditionalGaussian, GainMatrixShape) {
   EXPECT_EQ(cg.gain().cols(), 2u);
 }
 
+TEST(PredictionGain, AdoptingASharedGainSkipsRefactorization) {
+  const linalg::Matrix cov{
+      {2.0, 0.5, 0.3}, {0.5, 1.5, 0.2}, {0.3, 0.2, 1.0}};
+  const auto gain = PredictionGain::compute(cov, {2});
+  const ConditionalGaussian fresh(cov, {2});
+  const ConditionalGaussian adopted(gain);
+
+  // Same split, same numbers — and the adopting instance aliases the very
+  // object it was handed instead of copying or recomputing it.
+  EXPECT_EQ(adopted.shared_gain().get(), gain.get());
+  ASSERT_EQ(adopted.predicted_indices(), fresh.predicted_indices());
+  for (std::size_t k = 0; k < fresh.posterior_sigma().size(); ++k) {
+    EXPECT_EQ(adopted.posterior_sigma()[k], fresh.posterior_sigma()[k]);
+  }
+  const std::vector<double> mu{1.0, 2.0, 3.0};
+  const std::vector<double> obs{3.5};
+  const std::vector<double> pa = adopted.posterior_mean(mu, obs);
+  const std::vector<double> pf = fresh.posterior_mean(mu, obs);
+  ASSERT_EQ(pa.size(), pf.size());
+  for (std::size_t k = 0; k < pa.size(); ++k) EXPECT_EQ(pa[k], pf[k]);
+
+  // Copying a ConditionalGaussian shares the gain too.
+  const ConditionalGaussian copy = fresh;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(copy.shared_gain().get(), fresh.shared_gain().get());
+  EXPECT_THROW(ConditionalGaussian(nullptr), std::invalid_argument);
+}
+
+TEST(PredictionGain, StoresCholeskyOfMeasuredBlock) {
+  const linalg::Matrix cov{{4.0, 1.0}, {1.0, 9.0}};
+  const auto gain = PredictionGain::compute(cov, {1});
+  // Sigma_t = [9]; its Cholesky factor is [3].
+  ASSERT_EQ(gain->chol_sigma_t.l.rows(), 1u);
+  EXPECT_DOUBLE_EQ(gain->chol_sigma_t.l(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(gain->gain(0, 0), 1.0 / 9.0);
+}
+
 // Property: the conditional-mean estimator is unbiased and its residual
 // std matches the posterior sigma (empirically via joint sampling).
 class ConditionalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};

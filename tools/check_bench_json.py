@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json bench reports and gate paper metrics against a
+committed baseline.
+
+Two jobs, both exercised by the perf-smoke CI job:
+
+1. Schema validation ("effitest-bench-v1"): every file must be a JSON
+   object with the exact top-level keys {schema, bench, git_sha, threads,
+   records}; records is a list of objects with keys {circuit, metric,
+   value, wall_seconds}, finite numeric value, non-negative wall_seconds.
+
+2. Regression check (--baseline FILE): the baseline names a bench and a
+   circuit and pins paper metrics (ra, t'v, ...) with per-metric tolerance
+   and direction. The flow metrics are deterministic for a fixed
+   (seed, chips) — bit-identical for any thread count — so the tolerance
+   only absorbs toolchain/libstdc++ drift, not Monte-Carlo noise. A value
+   worse than baseline-beyond-tolerance fails; a value better by more than
+   the tolerance warns (re-record the baseline to bank the win).
+
+Baseline format (bench/baselines/s9234.json):
+
+    {
+      "bench": "table1",
+      "circuit": "s9234",
+      "args": "--circuits=s9234 --chips=100 --threads=2",
+      "metrics": {
+        "ra":  {"value": 96.27, "tol": 1.0, "higher_is_better": true},
+        "t'v": {"value": 9.0,   "tol": 0.25, "higher_is_better": false}
+      }
+    }
+
+Usage:
+    check_bench_json.py [--baseline FILE] BENCH_foo.json [BENCH_bar.json ...]
+
+Exit status: 0 = all checks passed, 1 = violation, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA_ID = "effitest-bench-v1"
+TOP_KEYS = {"schema", "bench", "git_sha", "threads", "records"}
+RECORD_KEYS = {"circuit", "metric", "value", "wall_seconds"}
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}")
+    raise SystemExit(1)
+
+
+def is_finite_number(v: object) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool) and math.isfinite(v)
+
+
+def validate_schema(path: str, doc: object) -> dict:
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not a JSON object")
+    keys = set(doc.keys())
+    if keys != TOP_KEYS:
+        fail(
+            f"{path}: top-level keys {sorted(keys)} != required {sorted(TOP_KEYS)}"
+        )
+    if doc["schema"] != SCHEMA_ID:
+        fail(f"{path}: schema {doc['schema']!r} != {SCHEMA_ID!r}")
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        fail(f"{path}: bench must be a non-empty string")
+    if not isinstance(doc["git_sha"], str) or not doc["git_sha"]:
+        fail(f"{path}: git_sha must be a non-empty string")
+    if not isinstance(doc["threads"], int) or isinstance(doc["threads"], bool) or doc["threads"] < 0:
+        fail(f"{path}: threads must be a non-negative integer")
+    if not isinstance(doc["records"], list):
+        fail(f"{path}: records must be a list")
+    for i, rec in enumerate(doc["records"]):
+        where = f"{path}: records[{i}]"
+        if not isinstance(rec, dict):
+            fail(f"{where} is not an object")
+        if set(rec.keys()) != RECORD_KEYS:
+            fail(f"{where} keys {sorted(rec.keys())} != {sorted(RECORD_KEYS)}")
+        if not isinstance(rec["circuit"], str) or not rec["circuit"]:
+            fail(f"{where}: circuit must be a non-empty string")
+        if not isinstance(rec["metric"], str) or not rec["metric"]:
+            fail(f"{where}: metric must be a non-empty string")
+        if not is_finite_number(rec["value"]):
+            fail(f"{where}: value must be a finite number")
+        if not is_finite_number(rec["wall_seconds"]) or rec["wall_seconds"] < 0:
+            fail(f"{where}: wall_seconds must be a finite non-negative number")
+    print(
+        f"OK: {path}: schema valid "
+        f"(bench={doc['bench']}, {len(doc['records'])} records, "
+        f"sha={doc['git_sha']}, threads={doc['threads']})"
+    )
+    return doc
+
+
+def lookup(doc: dict, circuit: str, metric: str):
+    for rec in doc["records"]:
+        if rec["circuit"] == circuit and rec["metric"] == metric:
+            return rec["value"]
+    return None
+
+
+def check_baseline(baseline_path: str, docs: list[dict]) -> None:
+    with open(baseline_path, encoding="utf-8") as f:
+        base = json.load(f)
+    for key in ("bench", "circuit", "metrics"):
+        if key not in base:
+            fail(f"{baseline_path}: missing baseline key {key!r}")
+
+    matching = [d for d in docs if d["bench"] == base["bench"]]
+    if not matching:
+        fail(
+            f"no validated report came from bench {base['bench']!r} "
+            f"(needed by {baseline_path})"
+        )
+
+    for metric, spec in base["metrics"].items():
+        expected = spec["value"]
+        tol = spec.get("tol", 0.0)
+        higher_is_better = spec.get("higher_is_better", True)
+        value = None
+        for doc in matching:
+            value = lookup(doc, base["circuit"], metric)
+            if value is not None:
+                break
+        if value is None:
+            fail(
+                f"metric {metric!r} for circuit {base['circuit']!r} not found "
+                f"in any {base['bench']!r} report"
+            )
+        regressed = (
+            value < expected - tol if higher_is_better else value > expected + tol
+        )
+        improved = (
+            value > expected + tol if higher_is_better else value < expected - tol
+        )
+        if regressed:
+            fail(
+                f"{metric}={value} regressed beyond baseline {expected} "
+                f"(tol {tol}, higher_is_better={higher_is_better}); "
+                f"baseline {baseline_path}"
+            )
+        if improved:
+            print(
+                f"WARN: {metric}={value} beats baseline {expected} by more than "
+                f"tol {tol} — re-record {baseline_path} to bank the win"
+            )
+        else:
+            print(f"OK: {metric}={value} within {expected} +/- {tol}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="BENCH_*.json reports")
+    parser.add_argument(
+        "--baseline",
+        help="baseline JSON pinning paper metrics (see bench/baselines/)",
+    )
+    args = parser.parse_args()
+
+    docs = []
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            fail(f"{path}: {exc}")
+        docs.append(validate_schema(path, doc))
+
+    if args.baseline:
+        check_baseline(args.baseline, docs)
+    print("all bench JSON checks passed")
+
+
+if __name__ == "__main__":
+    main()
