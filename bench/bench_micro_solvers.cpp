@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "bench_json.hpp"
+#include "io/bench_json.hpp"
 #include "core/alignment.hpp"
 #include "core/configurator.hpp"
 #include "core/flow.hpp"
@@ -289,7 +289,7 @@ double best_seconds(std::size_t reps, Body&& body) {
 /// right-hand sides, seed path (naive Cholesky + per-column substitution)
 /// versus kernel path (blocked Cholesky + multi-RHS TRSM) at the harness
 /// --threads value. Emits one JSON record per measurement plus the speedup.
-void report_kernels_vs_naive(bench::JsonReporter& json, std::size_t threads) {
+void report_kernels_vs_naive(io::JsonReporter& json, std::size_t threads) {
   std::cout << "\n=== blocked kernels vs. seed naive (Cholesky + solve, "
                "n right-hand sides) ===\n";
   const linalg::kernels::KernelOptions opts{threads};
@@ -348,7 +348,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  effitest::bench::JsonReporter json("micro_solvers", threads);
+  effitest::io::JsonReporter json("micro_solvers", threads);
   report_kernels_vs_naive(json, threads);
   std::cout << "machine-readable output: " << json.write() << "\n";
   return 0;

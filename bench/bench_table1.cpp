@@ -16,7 +16,7 @@
 // reproduction targets (ra > 94% on every circuit in the paper).
 
 #include "bench_common.hpp"
-#include "bench_json.hpp"
+#include "io/bench_json.hpp"
 #include "core/campaign.hpp"
 
 int main(int argc, char** argv) {
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   const core::CampaignResult result =
       core::CampaignRunner(copts).run(core::CampaignRunner::cross(names, {}));
 
-  bench::JsonReporter json("table1", args.threads);
+  io::JsonReporter json("table1", args.threads);
   for (const core::CampaignJobResult& job : result.jobs) {
     const core::FlowMetrics& m = job.metrics;
     const auto record = [&](const char* metric, double value) {

@@ -10,7 +10,7 @@
 // The paper reports yr around 1-2% with yi far above the no-buffer yields.
 
 #include "bench_common.hpp"
-#include "bench_json.hpp"
+#include "io/bench_json.hpp"
 #include "core/campaign.hpp"
 
 int main(int argc, char** argv) {
@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   const core::CampaignResult result = core::CampaignRunner(copts).run(
       core::CampaignRunner::cross(names, {0.5, 0.8413}));
 
-  bench::JsonReporter json("table2", args.threads);
+  io::JsonReporter json("table2", args.threads);
   for (std::size_t c = 0; c < names.size(); ++c) {
     const core::FlowMetrics& t1 = result.jobs[2 * c].metrics;
     const core::FlowMetrics& t2 = result.jobs[2 * c + 1].metrics;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <utility>
 
 #include "core/yield.hpp"
@@ -45,6 +46,20 @@ CampaignResult CampaignRunner::run(
     const std::vector<CampaignJob>& jobs) const {
   const auto t0 = Clock::now();
   CampaignResult out;
+  if (jobs.empty()) return out;  // nothing to run, nothing to time
+
+  // Validate every circuit name up front: a typo must fail with one clear
+  // error before any job starts, not from inside the parallel fan-out.
+  for (const CampaignJob& job : jobs) {
+    try {
+      (void)netlist::paper_benchmark_spec(job.circuit);
+    } catch (const std::exception&) {
+      throw std::invalid_argument(
+          "CampaignRunner: unknown circuit \"" + job.circuit +
+          "\" (paper benchmarks: s9234 s13207 s15850 s38584 mem_ctrl "
+          "usb_funct ac97_ctrl pci_bridge32)");
+    }
+  }
   out.jobs.resize(jobs.size());
 
   // Group job indices by circuit, preserving first-appearance order (the
@@ -75,8 +90,9 @@ CampaignResult CampaignRunner::run(
                                      circuit.buffered_ffs, model_options);
     const Problem problem(model);
 
-    FlowArtifacts prepared;
-    const FlowArtifacts* reuse = nullptr;
+    // Null for the first job (fresh prepare); every later job of the
+    // circuit aliases the first job's artifacts — no copies.
+    std::shared_ptr<const FlowArtifacts> prepared;
     for (std::size_t idx : indices) {
       const CampaignJob& job = jobs[idx];
       FlowOptions opts = options_.flow;
@@ -90,16 +106,15 @@ CampaignResult CampaignRunner::run(
             problem, job.quantile, options_.calibration_chips, calibration);
       }
 
-      FlowResult result = run_flow(problem, opts, reuse);
+      FlowResult result = run_flow(problem, opts, prepared);
       CampaignJobResult& slot = out.jobs[idx];
       slot.job = job;
       slot.metrics = result.metrics;
       slot.metrics.ns = circuit.netlist.num_flip_flops();
       slot.metrics.ng = circuit.netlist.num_combinational_gates();
       slot.seconds = seconds_since(j0);
-      if (reuse == nullptr) {
-        prepared = std::move(result.artifacts);
-        reuse = &prepared;
+      if (prepared == nullptr) {
+        prepared = std::move(result.artifacts);  // shared, not copied
       }
     }
   });

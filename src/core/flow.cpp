@@ -1,25 +1,15 @@
 #include "core/flow.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <memory>
 #include <numeric>
 
+#include "core/tuner_service.hpp"
 #include "parallel/deterministic_for.hpp"
 #include "stats/distributions.hpp"
 
 namespace effitest::core {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-}  // namespace
 
 double calibrated_epsilon(const Problem& problem) {
   std::vector<double> sigmas = problem.model().max_sigmas();
@@ -140,41 +130,30 @@ FlowArtifacts prepare_flow(const Problem& problem, const FlowOptions& options,
 
 FlowResult run_flow(const Problem& problem, const FlowOptions& options,
                     const FlowArtifacts* reuse) {
+  // The raw-pointer reuse form keeps its historical value-copy semantics;
+  // the shared_ptr overload below aliases instead.
+  return run_flow(problem, options,
+                  reuse != nullptr
+                      ? std::make_shared<const FlowArtifacts>(*reuse)
+                      : std::shared_ptr<const FlowArtifacts>());
+}
+
+FlowResult run_flow(const Problem& problem, const FlowOptions& options,
+                    std::shared_ptr<const FlowArtifacts> reuse) {
   FlowResult out;
   FlowMetrics& m = out.metrics;
   const timing::CircuitModel& model = problem.model();
 
-  stats::Rng rng(options.seed);
-
-  // --- Designated period. ----------------------------------------------------
-  double td = options.designated_period;
-  if (td <= 0.0) {
-    stats::Rng cal_rng = rng.fork();
-    td = period_quantile(problem, 0.5, options.period_calibration_chips,
-                         cal_rng);
-  }
+  // --- Offline phase: T_d resolution + artifact preparation, owned by the
+  //     service (seed-fork order unchanged — DESIGN.md §4/§10). -----------
+  const TunerService service(problem, options, std::move(reuse));
+  const double td = service.designated_period();
   m.designated_period = td;
+  m.epsilon_ps = service.test_options().epsilon_ps;
+  m.tp_seconds = service.prepare_seconds();
+  const FlowArtifacts& art = service.artifacts();
 
-  // --- Offline preparation (Tp). ---------------------------------------------
-  FlowOptions opts = options;
-  if (opts.epsilon_override > 0.0) {
-    opts.test.epsilon_ps = opts.epsilon_override;
-  } else {
-    opts.test.epsilon_ps = calibrated_epsilon(problem);
-  }
-  m.epsilon_ps = opts.test.epsilon_ps;
-
-  const auto tp0 = Clock::now();
-  stats::Rng hold_rng = rng.fork();
-  if (reuse != nullptr) {
-    out.artifacts = *reuse;
-  } else {
-    out.artifacts = prepare_flow(problem, opts, hold_rng);
-  }
-  m.tp_seconds = seconds_since(tp0);
-  FlowArtifacts& art = out.artifacts;
-
-  // --- Static counts (ns/ng are netlist facts; benches fill them in). ---------
+  // --- Static counts (ns/ng are netlist facts; benches fill them in). -----
   m.np = model.num_pairs();
   m.npt = art.tested.size();
   m.nb = problem.num_buffers();
@@ -187,15 +166,16 @@ FlowResult run_flow(const Problem& problem, const FlowOptions& options,
   std::size_t pathwise_total = 0;
   for (std::size_t p = 0; p < m.np; ++p) {
     pathwise_total += pathwise_iterations(
-        art.prior_lower[p], art.prior_upper[p], opts.test.epsilon_ps);
+        art.prior_lower[p], art.prior_upper[p], m.epsilon_ps);
   }
   m.ta_pathwise = static_cast<double>(pathwise_total);
   m.tv_pathwise = m.np > 0 ? m.ta_pathwise / static_cast<double>(m.np) : 0.0;
 
-  // --- Monte-Carlo tester loop (parallel::deterministic_reduce; chip c
-  //     draws from its own stream seeded index_seed(chip_seed_base, c), and
-  //     tallies fold in a chunk layout fixed by the chip count alone, so any
-  //     thread count gives bit-identical results). -------------------------
+  // --- Monte-Carlo tester loop: a thin driver over the TunerService API.
+  //     (parallel::deterministic_reduce; chip c draws from its own stream
+  //     seeded index_seed(chip_seed_base, c), and tallies fold in a chunk
+  //     layout fixed by the chip count alone, so any thread count gives
+  //     bit-identical results). -------------------------------------------
   struct Tally {
     std::size_t iter_sum = 0;
     std::size_t forced = 0;
@@ -206,54 +186,30 @@ FlowResult run_flow(const Problem& problem, const FlowOptions& options,
     double tt_sum = 0.0;
     double ts_sum = 0.0;
   };
-  const std::uint64_t chip_seed_base = rng.fork().engine()();
+  const std::uint64_t chip_seed_base = service.monte_carlo_seed_base();
+  const SessionOptions session_options{options.evaluate_yield};
 
   const auto process_chip = [&](std::size_t c, stats::Rng& chip_rng,
                                 Tally& tally) {
     (void)c;
     thread_local timing::SampleWorkspace sample_ws;
     const timing::Chip chip = model.sample_chip(chip_rng, sample_ws);
+    SimulatedChip tester(problem, chip);
 
-    TestRunResult test = run_delay_test(problem, chip, art.batches,
-                                        art.prior_lower, art.prior_upper,
-                                        art.hold, opts.test);
-    tally.iter_sum += test.iterations;
-    tally.forced += test.forced;
-    tally.tt_sum += test.align_seconds;
+    TuningSession session = service.begin_chip(session_options);
+    session.drive(tester);
+    const ChipReport& report = session.report();
 
-    // Delay ranges for configuration: measured where tested, predicted
-    // elsewhere (conditioned on the measured upper bounds, §3.4).
-    const auto ts0 = Clock::now();
-    std::span<const double> cfg_lower;
-    std::span<const double> cfg_upper;
-    DelayBounds predicted;
-    if (art.predictor) {
-      std::vector<double> meas_lower(art.tested.size());
-      std::vector<double> meas_upper(art.tested.size());
-      for (std::size_t t = 0; t < art.tested.size(); ++t) {
-        meas_lower[t] = test.lower[art.tested[t]];
-        meas_upper[t] = test.upper[art.tested[t]];
-      }
-      predicted = art.predictor->predict(meas_lower, meas_upper);
-      cfg_lower = predicted.lower;
-      cfg_upper = predicted.upper;
-    } else {
-      cfg_lower = test.lower;
-      cfg_upper = test.upper;
-    }
+    tally.iter_sum += report.test.iterations;
+    tally.forced += report.test.forced;
+    tally.tt_sum += report.test.align_seconds;
+    tally.ts_sum += report.config_seconds;
 
-    const ConfigResult cfg = configure_buffers(problem, td, cfg_lower,
-                                               cfg_upper, art.hold,
-                                               opts.config);
-    tally.ts_sum += seconds_since(ts0);
-
-    if (!cfg.feasible) ++tally.infeasible;
+    if (!report.config.feasible) ++tally.infeasible;
     if (options.evaluate_yield) {
-      if (cfg.feasible &&
-          chip_passes(problem, chip, buffer_values(problem, cfg.steps), td)) {
-        ++tally.pass_proposed;
-      }
-      const ConfigResult ideal = configure_ideal(problem, td, chip, opts.config);
+      if (report.passed.value_or(false)) ++tally.pass_proposed;
+      const ConfigResult ideal =
+          configure_ideal(problem, td, chip, options.config);
       if (ideal.feasible &&
           chip_passes(problem, chip, buffer_values(problem, ideal.steps), td)) {
         ++tally.pass_ideal;
@@ -300,6 +256,7 @@ FlowResult run_flow(const Problem& problem, const FlowOptions& options,
     m.yield_proposed = static_cast<double>(pass_proposed) / n;
     m.yield_drop = m.yield_ideal - m.yield_proposed;
   }
+  out.artifacts = service.shared_artifacts();  // shared, no copy
   return out;
 }
 

@@ -17,6 +17,7 @@
 // (yi) and the untuned circuit (yield without buffers).
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "core/configurator.hpp"
@@ -105,7 +106,11 @@ struct FlowArtifacts {
 
 struct FlowResult {
   FlowMetrics metrics;
-  FlowArtifacts artifacts;
+  /// The offline artifacts the run used — shared with (not copied out of)
+  /// the TunerService that owned them, never null after run_flow. Reusing
+  /// them for a T_d sweep needs no copy (`run_flow(p, o,
+  /// result.artifacts.get())`); copy `*artifacts` to mutate.
+  std::shared_ptr<const FlowArtifacts> artifacts;
 };
 
 /// Offline preparation only (everything before chips hit the tester).
@@ -113,13 +118,24 @@ struct FlowResult {
                                          const FlowOptions& options,
                                          stats::Rng& rng);
 
-/// Full experiment: offline preparation + Monte-Carlo tester loop.
-/// `reuse` skips the offline preparation by copying previously prepared
+/// Full experiment: offline preparation + Monte-Carlo tester loop. Since
+/// the TunerService redesign this is a thin Monte-Carlo driver: it builds
+/// a `core::TunerService` (which owns the offline phase) and streams
+/// sampled dies through per-chip `TuningSession`s as `SimulatedChip`s —
+/// bit-identical to the historical fused loop
+/// (tests/integration/golden_metrics_test.cpp).
+/// `reuse` skips the offline preparation with previously prepared
 /// artifacts (legal because they do not depend on the designated period —
-/// useful when sweeping T_d over the same circuit, e.g. Table 2).
+/// useful when sweeping T_d over the same circuit, e.g. Table 2). The raw
+/// pointer form value-copies them into the run's service; the shared_ptr
+/// overload aliases without copying (the campaign fast path — pass
+/// `result.artifacts` from an earlier run; null prepares fresh).
 [[nodiscard]] FlowResult run_flow(const Problem& problem,
                                   const FlowOptions& options = {},
                                   const FlowArtifacts* reuse = nullptr);
+[[nodiscard]] FlowResult run_flow(const Problem& problem,
+                                  const FlowOptions& options,
+                                  std::shared_ptr<const FlowArtifacts> reuse);
 
 /// Calibrated epsilon: 6 * median path sigma / 2^8.5 (see DESIGN.md).
 [[nodiscard]] double calibrated_epsilon(const Problem& problem);

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/tuner_service.hpp"
+
 namespace effitest::core {
 
 namespace {
@@ -30,95 +32,157 @@ std::size_t pathwise_iterations(double lower, double upper, double epsilon) {
   return iters;
 }
 
-TestRunResult run_delay_test(const Problem& problem, const timing::Chip& chip,
+DelayTestMachine::DelayTestMachine(const Problem& problem,
+                                   const std::vector<Batch>& batches,
+                                   std::span<const double> prior_lower,
+                                   std::span<const double> prior_upper,
+                                   std::span<const HoldConstraintX> hold,
+                                   const TestOptions& options)
+    : problem_(&problem),
+      batches_(&batches),
+      hold_(hold.begin(), hold.end()),
+      options_(options) {
+  const std::size_t np = problem.model().num_pairs();
+  if (prior_lower.size() != np || prior_upper.size() != np) {
+    throw std::invalid_argument(
+        "DelayTestMachine: prior bounds size mismatch");
+  }
+  result_.lower.assign(prior_lower.begin(), prior_lower.end());
+  result_.upper.assign(prior_upper.begin(), prior_upper.end());
+  result_.tested.assign(np, false);
+  result_.final_steps = problem.neutral_steps();
+  settle();
+}
+
+void DelayTestMachine::settle() {
+  for (;;) {
+    if (!batch_loaded_) {
+      if (batch_idx_ >= batches_->size()) {
+        done_ = true;
+        return;
+      }
+      active_ = (*batches_)[batch_idx_].paths;
+      batch_iters_ = 0;
+      batch_loaded_ = true;
+    }
+    if (active_.empty()) {
+      batch_loaded_ = false;
+      ++batch_idx_;
+      continue;
+    }
+    if (batch_iters_ >= options_.max_iterations_per_batch) {
+      // Safety stop: everything still unresolved is force-resolved
+      // (Procedure 2's escape hatch — identical accounting to the
+      // historical loop's break-then-mark).
+      result_.forced += active_.size();
+      for (std::size_t p : active_) result_.tested[p] = true;
+      active_.clear();
+      batch_loaded_ = false;
+      ++batch_idx_;
+      continue;
+    }
+    return;  // ready to emit a stimulus for `active_`
+  }
+}
+
+const Stimulus& DelayTestMachine::next_stimulus() {
+  if (done_) {
+    throw std::logic_error("DelayTestMachine: next_stimulus after done");
+  }
+  if (stimulus_ready_) return stimulus_;
+
+  // Build the alignment instance over the still-unresolved paths.
+  AlignmentInstance inst;
+  inst.problem = problem_;
+  inst.current_steps = result_.final_steps;
+  inst.allow_buffer_moves = options_.align_with_buffers;
+  inst.hold = hold_;
+  std::vector<double> centers;
+  centers.reserve(active_.size());
+  for (std::size_t p : active_) {
+    centers.push_back(0.5 * (result_.lower[p] + result_.upper[p]));
+  }
+  const std::vector<double> weights =
+      middle_out_weights(centers, options_.k0, options_.kd);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const std::size_t p = active_[i];
+    inst.entries.push_back(AlignmentEntry{centers[i], weights[i],
+                                          problem_->src_buffer(p),
+                                          problem_->dst_buffer(p)});
+  }
+
+  const auto t0 = Clock::now();
+  const AlignmentResult aligned =
+      solve_alignment(inst, options_.method, options_.lp);
+  result_.align_seconds += seconds_since(t0);
+  result_.final_steps = aligned.steps;
+
+  stimulus_.period = aligned.period;
+  stimulus_.steps = aligned.steps;
+  stimulus_.armed = active_;
+  stimulus_ready_ = true;
+  return stimulus_;
+}
+
+void DelayTestMachine::record_response(const std::vector<bool>& pass) {
+  if (!stimulus_ready_) {
+    throw std::logic_error(
+        "DelayTestMachine: record_response without next_stimulus");
+  }
+  if (pass.size() != stimulus_.armed.size()) {
+    throw std::invalid_argument(
+        "DelayTestMachine: response size does not match armed pair count");
+  }
+  ++result_.iterations;
+  ++batch_iters_;
+  std::vector<std::size_t> still_active;
+  for (std::size_t i = 0; i < stimulus_.armed.size(); ++i) {
+    const std::size_t p = stimulus_.armed[i];
+    const double skew = problem_->pair_skew(p, result_.final_steps);
+    // The tested constraint is D + skew <= T, so the information gained
+    // about D itself is the bound T - skew (Procedure 2 lines 9/11).
+    const double effective = stimulus_.period - skew;
+    if (pass[i]) {
+      result_.upper[p] = std::min(result_.upper[p], effective);
+    } else {
+      result_.lower[p] = std::max(result_.lower[p], effective);
+    }
+    // Test escapes (true delay outside the prior range) can cross the
+    // bounds; clamp conservatively. A pinched range (bounds crossed or
+    // met) carries no width left to bisect, so the pair resolves
+    // regardless of epsilon — otherwise a non-positive epsilon would
+    // keep it active until the safety stop force-resolves it after
+    // max_iterations_per_batch wasted tester steps.
+    if (result_.upper[p] < result_.lower[p]) {
+      result_.lower[p] = result_.upper[p];
+    }
+    if (result_.upper[p] <= result_.lower[p] ||
+        result_.upper[p] - result_.lower[p] < options_.epsilon_ps) {
+      result_.tested[p] = true;
+    } else {
+      still_active.push_back(p);
+    }
+  }
+  active_ = std::move(still_active);
+  stimulus_ready_ = false;
+  settle();
+}
+
+TestRunResult run_delay_test(const Problem& problem, ChipUnderTest& chip,
                              const std::vector<Batch>& batches,
                              std::span<const double> prior_lower,
                              std::span<const double> prior_upper,
                              std::span<const HoldConstraintX> hold,
                              const TestOptions& options) {
-  const std::size_t np = problem.model().num_pairs();
-  if (prior_lower.size() != np || prior_upper.size() != np) {
-    throw std::invalid_argument("run_delay_test: prior bounds size mismatch");
+  DelayTestMachine machine(problem, batches, prior_lower, prior_upper, hold,
+                           options);
+  while (!machine.done()) {
+    machine.record_response(chip.apply(machine.next_stimulus()));
   }
-  TestRunResult out;
-  out.lower.assign(prior_lower.begin(), prior_lower.end());
-  out.upper.assign(prior_upper.begin(), prior_upper.end());
-  out.tested.assign(np, false);
-  out.final_steps = problem.neutral_steps();
-
-  for (const Batch& batch : batches) {
-    std::vector<std::size_t> active = batch.paths;
-    std::size_t batch_iters = 0;
-    while (!active.empty()) {
-      if (batch_iters >= options.max_iterations_per_batch) {
-        out.forced += active.size();
-        break;
-      }
-      // Build the alignment instance over the still-unresolved paths.
-      AlignmentInstance inst;
-      inst.problem = &problem;
-      inst.current_steps = out.final_steps;
-      inst.allow_buffer_moves = options.align_with_buffers;
-      inst.hold.assign(hold.begin(), hold.end());
-      std::vector<double> centers;
-      centers.reserve(active.size());
-      for (std::size_t p : active) {
-        centers.push_back(0.5 * (out.lower[p] + out.upper[p]));
-      }
-      const std::vector<double> weights =
-          middle_out_weights(centers, options.k0, options.kd);
-      for (std::size_t i = 0; i < active.size(); ++i) {
-        const std::size_t p = active[i];
-        inst.entries.push_back(AlignmentEntry{centers[i], weights[i],
-                                              problem.src_buffer(p),
-                                              problem.dst_buffer(p)});
-      }
-
-      const auto t0 = Clock::now();
-      const AlignmentResult aligned =
-          solve_alignment(inst, options.method, options.lp);
-      out.align_seconds += seconds_since(t0);
-      out.final_steps = aligned.steps;
-
-      // One tester iteration: apply (T, x) and capture pass/fail per sink.
-      ++out.iterations;
-      ++batch_iters;
-      std::vector<std::size_t> still_active;
-      for (std::size_t p : active) {
-        const double skew = problem.pair_skew(p, out.final_steps);
-        // The tested constraint is D + skew <= T, so the information gained
-        // about D itself is the bound T - skew (Procedure 2 lines 9/11).
-        const double effective = aligned.period - skew;
-        const bool pass =
-            chip.max_delay[p] + skew <= aligned.period + 1e-12;
-        if (pass) {
-          out.upper[p] = std::min(out.upper[p], effective);
-        } else {
-          out.lower[p] = std::max(out.lower[p], effective);
-        }
-        // Test escapes (true delay outside the prior range) can cross the
-        // bounds; clamp conservatively. A pinched range (bounds crossed or
-        // met) carries no width left to bisect, so the pair resolves
-        // regardless of epsilon — otherwise a non-positive epsilon would
-        // keep it active until the safety stop force-resolves it after
-        // max_iterations_per_batch wasted tester steps.
-        if (out.upper[p] < out.lower[p]) out.lower[p] = out.upper[p];
-        if (out.upper[p] <= out.lower[p] ||
-            out.upper[p] - out.lower[p] < options.epsilon_ps) {
-          out.tested[p] = true;
-        } else {
-          still_active.push_back(p);
-        }
-      }
-      active = std::move(still_active);
-    }
-    for (std::size_t p : active) out.tested[p] = true;  // force-resolved
-  }
-  return out;
+  return machine.take_result();
 }
 
-TestRunResult run_pathwise_test(const Problem& problem,
-                                const timing::Chip& chip,
+TestRunResult run_pathwise_test(const Problem& problem, ChipUnderTest& chip,
                                 std::span<const double> prior_lower,
                                 std::span<const double> prior_upper,
                                 const TestOptions& options) {
@@ -128,15 +192,23 @@ TestRunResult run_pathwise_test(const Problem& problem,
   out.upper.assign(prior_upper.begin(), prior_upper.end());
   out.tested.assign(np, true);
   out.final_steps = problem.neutral_steps();
+  Stimulus stimulus;
+  stimulus.steps = out.final_steps;
   for (std::size_t p = 0; p < np; ++p) {
     const double skew = problem.pair_skew(p, out.final_steps);
+    stimulus.armed.assign(1, p);
     while (out.upper[p] - out.lower[p] >= options.epsilon_ps) {
-      const double t = 0.5 * (out.lower[p] + out.upper[p]) + skew;
+      stimulus.period = 0.5 * (out.lower[p] + out.upper[p]) + skew;
       ++out.iterations;
-      if (chip.max_delay[p] + skew <= t + 1e-12) {
-        out.upper[p] = t - skew;
+      const std::vector<bool> pass = chip.apply(stimulus);
+      if (pass.size() != 1) {
+        throw std::invalid_argument(
+            "run_pathwise_test: expected a single pass/fail bit");
+      }
+      if (pass[0]) {
+        out.upper[p] = stimulus.period - skew;
       } else {
-        out.lower[p] = t - skew;
+        out.lower[p] = stimulus.period - skew;
       }
     }
   }

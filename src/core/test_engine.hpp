@@ -1,13 +1,21 @@
 #pragma once
 // Procedure 2: frequency-stepping delay test with aligned ranges.
 //
-// The simulated tester applies (T, buffer steps) to the chip under test; a
-// path p_ij passes iff  D_ij(true) + x_i - x_j <= T  (setup constraint,
-// eq. 1). Each application to a batch is ONE tester iteration regardless of
-// how many paths it resolves — that is the entire point of multiplexing and
+// The tester applies (T, buffer steps) to the chip under test; a path p_ij
+// passes iff  D_ij(true) + x_i - x_j <= T  (setup constraint, eq. 1). Each
+// application to a batch is ONE tester iteration regardless of how many
+// paths it resolves — that is the entire point of multiplexing and
 // alignment. Per path the pass/fail outcome turns T - (x_i - x_j) into a new
 // upper or lower delay bound; a path leaves the batch when its range width
 // drops below the resolution epsilon.
+//
+// The engine is inverted around the tester: it never touches simulated die
+// state itself. `DelayTestMachine` is the incremental form — it emits one
+// `Stimulus` at a time and consumes the pass/fail response, so a physical
+// tester (or a streamed protocol, core/tuner_service.hpp) can sit on the
+// other side. `run_delay_test`/`run_pathwise_test` drive a `ChipUnderTest`
+// through the same machine; wrap a simulated die in `core::SimulatedChip`
+// to recover the historical in-process behavior bit for bit.
 
 #include <cstddef>
 #include <span>
@@ -16,9 +24,10 @@
 #include "core/alignment.hpp"
 #include "core/multiplexing.hpp"
 #include "core/problem.hpp"
-#include "timing/model.hpp"
 
 namespace effitest::core {
+
+class ChipUnderTest;  // core/tuner_service.hpp
 
 struct TestOptions {
   double epsilon_ps = 0.5;  ///< stop when upper - lower < epsilon
@@ -32,6 +41,16 @@ struct TestOptions {
   lp::SolveOptions lp{};
 };
 
+/// One tester iteration's programming: run the chip at clock period `period`
+/// with every buffer programmed to `steps`, and observe pass/fail of the
+/// `armed` monitored pairs (in order). An empty `armed` set is the final
+/// go/no-go production test: the response is one bit for the whole chip.
+struct Stimulus {
+  double period = 0.0;
+  std::vector<int> steps;          ///< full buffer step assignment
+  std::vector<std::size_t> armed;  ///< monitored-pair ids observed
+};
+
 struct TestRunResult {
   /// Per monitored pair: measured (tested paths) or prior (others) bounds.
   std::vector<double> lower;
@@ -43,11 +62,69 @@ struct TestRunResult {
   double align_seconds = 0.0;   ///< time spent choosing (T, x) — column Tt
 };
 
+/// Incremental Procedure 2. The machine owns the per-chip test state
+/// (bounds, active set, programmed steps) and exposes it one tester
+/// iteration at a time:
+///
+///   DelayTestMachine m(problem, batches, lo, hi, hold, options);
+///   while (!m.done()) m.record_response(tester(m.next_stimulus()));
+///   TestRunResult r = m.take_result();
+///
+/// `next_stimulus()` solves the alignment problem for the current
+/// unresolved set (idempotent until the response arrives);
+/// `record_response` folds the pass/fail bits into the bounds exactly as
+/// the historical in-process loop did, so any driver — in-process
+/// simulation, the streaming protocol, a replayed log — produces
+/// bit-identical results. `problem` and `batches` must outlive the machine.
+class DelayTestMachine {
+ public:
+  DelayTestMachine(const Problem& problem, const std::vector<Batch>& batches,
+                   std::span<const double> prior_lower,
+                   std::span<const double> prior_upper,
+                   std::span<const HoldConstraintX> hold,
+                   const TestOptions& options = {});
+
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// The next tester iteration to apply. Computes (and caches) the aligned
+  /// (T, x); valid to call repeatedly until record_response. Requires
+  /// !done().
+  [[nodiscard]] const Stimulus& next_stimulus();
+
+  /// Pass/fail per armed pair of the last next_stimulus(), in order.
+  void record_response(const std::vector<bool>& pass);
+
+  /// The accumulated result; bounds/tested/steps are valid at any point,
+  /// iteration counters are final once done().
+  [[nodiscard]] const TestRunResult& result() const { return result_; }
+  [[nodiscard]] TestRunResult&& take_result() { return std::move(result_); }
+
+ private:
+  /// Advance past empty/exhausted batches (force-resolving safety-stop
+  /// hits) until a stimulus can be emitted or every batch is finished.
+  void settle();
+
+  const Problem* problem_;
+  const std::vector<Batch>* batches_;
+  std::vector<HoldConstraintX> hold_;
+  TestOptions options_;
+  TestRunResult result_;
+  Stimulus stimulus_;
+  std::vector<std::size_t> active_;
+  std::size_t batch_idx_ = 0;
+  std::size_t batch_iters_ = 0;
+  bool batch_loaded_ = false;
+  bool stimulus_ready_ = false;
+  bool done_ = false;
+};
+
 /// Run the aligned delay test on one chip over the given batches.
 /// `prior_lower` / `prior_upper` are indexed by monitored-pair id
-/// (mu -/+ 3 sigma initially, §3.3).
+/// (mu -/+ 3 sigma initially, §3.3). The chip is observed exclusively
+/// through the `ChipUnderTest` interface — one `apply` per tester
+/// iteration.
 [[nodiscard]] TestRunResult run_delay_test(
-    const Problem& problem, const timing::Chip& chip,
+    const Problem& problem, ChipUnderTest& chip,
     const std::vector<Batch>& batches, std::span<const double> prior_lower,
     std::span<const double> prior_upper,
     std::span<const HoldConstraintX> hold, const TestOptions& options = {});
@@ -58,10 +135,11 @@ struct TestRunResult {
 [[nodiscard]] std::size_t pathwise_iterations(double lower, double upper,
                                               double epsilon);
 
-/// Simulated path-wise frequency stepping over all monitored pairs (the
-/// comparison baseline): every path is bisected individually.
+/// Path-wise frequency stepping over all monitored pairs (the comparison
+/// baseline): every path is bisected individually, one armed pair per
+/// tester iteration, buffers frozen at neutral.
 [[nodiscard]] TestRunResult run_pathwise_test(
-    const Problem& problem, const timing::Chip& chip,
+    const Problem& problem, ChipUnderTest& chip,
     std::span<const double> prior_lower, std::span<const double> prior_upper,
     const TestOptions& options = {});
 

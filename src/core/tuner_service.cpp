@@ -1,0 +1,202 @@
+#include "core/tuner_service.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "core/yield.hpp"
+
+namespace effitest::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+std::vector<bool> SimulatedChip::apply(const Stimulus& stimulus) {
+  std::vector<bool> pass(stimulus.armed.size());
+  for (std::size_t i = 0; i < stimulus.armed.size(); ++i) {
+    const std::size_t p = stimulus.armed[i];
+    const double skew = problem_->pair_skew(p, stimulus.steps);
+    pass[i] = chip_->max_delay[p] + skew <= stimulus.period + 1e-12;
+  }
+  return pass;
+}
+
+bool SimulatedChip::final_test(double period, std::span<const int> steps) {
+  return chip_passes(*problem_, *chip_, buffer_values(*problem_, steps),
+                     period);
+}
+
+TuningSession::TuningSession(const Problem& problem,
+                             std::shared_ptr<const FlowArtifacts> artifacts,
+                             double designated_period,
+                             const TestOptions& test_options,
+                             const ConfigOptions& config_options,
+                             const SessionOptions& options)
+    : problem_(&problem),
+      artifacts_(std::move(artifacts)),
+      designated_period_(designated_period),
+      config_options_(config_options),
+      options_(options),
+      machine_(problem, artifacts_->batches, artifacts_->prior_lower,
+               artifacts_->prior_upper, artifacts_->hold, test_options) {
+  if (machine_.done()) on_test_complete();  // degenerate: nothing to test
+}
+
+const Stimulus& TuningSession::next_stimulus() {
+  switch (phase_) {
+    case SessionPhase::kTest:
+      return machine_.next_stimulus();
+    case SessionPhase::kFinalTest:
+      return final_stimulus_;
+    case SessionPhase::kDone:
+      break;
+  }
+  throw std::logic_error("TuningSession: next_stimulus after kDone");
+}
+
+void TuningSession::record_response(const std::vector<bool>& pass) {
+  switch (phase_) {
+    case SessionPhase::kTest:
+      machine_.record_response(pass);
+      if (machine_.done()) on_test_complete();
+      return;
+    case SessionPhase::kFinalTest:
+      if (pass.size() != 1) {
+        throw std::invalid_argument(
+            "TuningSession: the final go/no-go response is one bit");
+      }
+      record_final(pass[0]);
+      return;
+    case SessionPhase::kDone:
+      break;
+  }
+  throw std::logic_error("TuningSession: record_response after kDone");
+}
+
+void TuningSession::record_final(bool passed) {
+  if (phase_ != SessionPhase::kFinalTest) {
+    throw std::logic_error(
+        "TuningSession: record_final outside the final-test phase");
+  }
+  report_.passed = passed;
+  phase_ = SessionPhase::kDone;
+}
+
+void TuningSession::on_test_complete() {
+  report_.test = machine_.take_result();
+  report_.designated_period = designated_period_;
+
+  const auto ts0 = Clock::now();
+  const FlowArtifacts& art = *artifacts_;
+  if (art.predictor) {
+    // Delay ranges for configuration: measured where tested, predicted
+    // elsewhere (conditioned on the measured upper bounds, §3.4).
+    std::vector<double> meas_lower(art.tested.size());
+    std::vector<double> meas_upper(art.tested.size());
+    for (std::size_t t = 0; t < art.tested.size(); ++t) {
+      meas_lower[t] = report_.test.lower[art.tested[t]];
+      meas_upper[t] = report_.test.upper[art.tested[t]];
+    }
+    report_.bounds = art.predictor->predict(meas_lower, meas_upper);
+  } else {
+    report_.bounds.lower = report_.test.lower;
+    report_.bounds.upper = report_.test.upper;
+  }
+  report_.config =
+      configure_buffers(*problem_, designated_period_, report_.bounds.lower,
+                        report_.bounds.upper, art.hold, config_options_);
+  report_.config_seconds = seconds_since(ts0);
+
+  if (report_.config.feasible && options_.final_test) {
+    final_stimulus_.period = designated_period_;
+    final_stimulus_.steps = report_.config.steps;
+    final_stimulus_.armed.clear();
+    phase_ = SessionPhase::kFinalTest;
+  } else {
+    // An infeasible configuration rejects the chip outright; with the
+    // final test disabled the outcome is simply not evaluated.
+    if (options_.final_test) report_.passed = false;
+    phase_ = SessionPhase::kDone;
+  }
+}
+
+void TuningSession::drive(ChipUnderTest& chip) {
+  while (phase_ != SessionPhase::kDone) {
+    const Stimulus& stimulus = next_stimulus();
+    if (phase_ == SessionPhase::kTest) {
+      record_response(chip.apply(stimulus));
+    } else {
+      record_final(chip.final_test(stimulus.period, stimulus.steps));
+    }
+  }
+}
+
+const ChipReport& TuningSession::report() const {
+  if (phase_ != SessionPhase::kDone) {
+    throw std::logic_error("TuningSession: report before kDone");
+  }
+  return report_;
+}
+
+ChipReport&& TuningSession::take_report() {
+  if (phase_ != SessionPhase::kDone) {
+    throw std::logic_error("TuningSession: take_report before kDone");
+  }
+  return std::move(report_);
+}
+
+TunerService::TunerService(const Problem& problem, const FlowOptions& options,
+                           const FlowArtifacts* reuse)
+    : TunerService(problem, options,
+                   reuse != nullptr
+                       ? std::make_shared<const FlowArtifacts>(*reuse)
+                       : std::shared_ptr<const FlowArtifacts>()) {}
+
+TunerService::TunerService(const Problem& problem, const FlowOptions& options,
+                           std::shared_ptr<const FlowArtifacts> artifacts)
+    : problem_(&problem), options_(options) {
+  // Seed-fork order is the historical run_flow contract (DESIGN.md §4):
+  // calibration fork (only when T_d is unresolved), hold fork
+  // (unconditional, even under reuse), Monte-Carlo chip-base fork.
+  stats::Rng rng(options_.seed);
+
+  designated_period_ = options_.designated_period;
+  if (designated_period_ <= 0.0) {
+    stats::Rng cal_rng = rng.fork();
+    designated_period_ = period_quantile(
+        problem, 0.5, options_.period_calibration_chips, cal_rng);
+  }
+  options_.designated_period = designated_period_;
+
+  if (options_.epsilon_override > 0.0) {
+    options_.test.epsilon_ps = options_.epsilon_override;
+  } else {
+    options_.test.epsilon_ps = calibrated_epsilon(problem);
+  }
+
+  const auto tp0 = Clock::now();
+  stats::Rng hold_rng = rng.fork();
+  if (artifacts != nullptr) {
+    artifacts_ = std::move(artifacts);  // aliased, not copied
+  } else {
+    artifacts_ = std::make_shared<const FlowArtifacts>(
+        prepare_flow(problem, options_, hold_rng));
+  }
+  prepare_seconds_ = seconds_since(tp0);
+
+  monte_carlo_seed_base_ = rng.fork().engine()();
+}
+
+TuningSession TunerService::begin_chip(const SessionOptions& options) const {
+  return TuningSession(*problem_, artifacts_, designated_period_,
+                       options_.test, options_.config, options);
+}
+
+}  // namespace effitest::core

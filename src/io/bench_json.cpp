@@ -1,4 +1,4 @@
-#include "bench_json.hpp"
+#include "io/bench_json.hpp"
 
 #include <cmath>
 #include <cstdlib>
@@ -9,7 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
-namespace effitest::bench {
+namespace effitest::io {
 
 namespace {
 
@@ -76,7 +76,10 @@ std::string JsonReporter::write(const std::string& dir) const {
   }
   std::string path = "BENCH_" + name_ + ".json";
   if (!out_dir.empty()) path = out_dir + "/" + path;
+  return write_file(path);
+}
 
+std::string JsonReporter::write_file(const std::string& path) const {
   std::ostringstream os;
   os << "{\n"
      << "  \"schema\": \"effitest-bench-v1\",\n"
@@ -105,4 +108,4 @@ std::string JsonReporter::write(const std::string& dir) const {
   return path;
 }
 
-}  // namespace effitest::bench
+}  // namespace effitest::io

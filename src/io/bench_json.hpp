@@ -1,7 +1,9 @@
 #pragma once
-// Machine-readable bench output: every harness binary emits a
+// Machine-readable bench/CLI output: every harness binary emits a
 // BENCH_<name>.json next to its human-readable table so CI (and any other
-// tooling) can gate on the numbers instead of scraping stdout.
+// tooling) can gate on the numbers instead of scraping stdout; the CLI's
+// `run`/`campaign` subcommands write the same schema to an explicit path
+// via --json=<path> (write_file).
 //
 // Schema ("effitest-bench-v1"; see EXPERIMENTS.md for the full contract and
 // tools/check_bench_json.py for the validator CI runs):
@@ -29,7 +31,7 @@
 #include <string>
 #include <vector>
 
-namespace effitest::bench {
+namespace effitest::io {
 
 /// Configure-time git revision (EFFITEST_GIT_SHA compile definition), or
 /// "unknown" when the build did not come from a git checkout.
@@ -52,6 +54,10 @@ class JsonReporter {
   /// Returns the path written. Throws std::runtime_error on I/O failure.
   std::string write(const std::string& dir = "") const;
 
+  /// Write the report to an explicit file path (created/truncated) —
+  /// the CLI's --json=<path>. Returns `path`; throws on I/O failure.
+  std::string write_file(const std::string& path) const;
+
  private:
   struct Record {
     std::string circuit;
@@ -64,4 +70,4 @@ class JsonReporter {
   std::vector<Record> records_;
 };
 
-}  // namespace effitest::bench
+}  // namespace effitest::io

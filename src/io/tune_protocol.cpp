@@ -1,0 +1,257 @@
+#include "io/tune_protocol.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "parallel/deterministic_for.hpp"
+#include "timing/model.hpp"
+
+namespace effitest::io {
+
+namespace {
+
+using core::ChipReport;
+using core::SessionPhase;
+using core::Stimulus;
+using core::TuningSession;
+
+std::string number(double v) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
+/// One chip's protocol-side bookkeeping around its TuningSession.
+struct ChipSlot {
+  explicit ChipSlot(TuningSession session) : session(std::move(session)) {}
+  TuningSession session;
+  std::size_t next_seq = 0;  ///< seq of the outstanding stimulus
+  bool finished = false;
+};
+
+/// Shared emit/advance machinery of both server modes.
+class Exchange {
+ public:
+  Exchange(const core::TunerService& service, std::size_t chips,
+           std::ostream& out)
+      : out_(&out), unfinished_(chips) {
+    slots_.reserve(chips);
+    for (std::size_t c = 0; c < chips; ++c) {
+      slots_.emplace_back(service.begin_chip());
+    }
+    const core::Problem& problem = service.problem();
+    *out_ << "effitest-tune-v1 chips=" << chips
+          << " np=" << problem.model().num_pairs()
+          << " nb=" << problem.num_buffers()
+          << " td=" << number(service.designated_period()) << '\n';
+    for (std::size_t c = 0; c < chips; ++c) emit_next(c);
+  }
+
+  [[nodiscard]] std::size_t unfinished() const { return unfinished_; }
+  [[nodiscard]] std::size_t chips() const { return slots_.size(); }
+  [[nodiscard]] std::size_t stimuli() const { return stimuli_; }
+  [[nodiscard]] ChipSlot& slot(std::size_t c) { return slots_[c]; }
+
+  /// The outstanding stimulus of an unfinished chip (idempotent).
+  [[nodiscard]] const Stimulus& outstanding(std::size_t c) {
+    return slots_[c].session.next_stimulus();
+  }
+  [[nodiscard]] bool is_final(std::size_t c) const {
+    return slots_[c].session.phase() == SessionPhase::kFinalTest;
+  }
+
+  /// Expected response width of the outstanding stimulus.
+  [[nodiscard]] std::size_t expected_bits(std::size_t c) {
+    return is_final(c) ? 1 : outstanding(c).armed.size();
+  }
+
+  /// Answer chip c's outstanding stimulus and emit its next one (or its
+  /// report when the session completes).
+  void apply(std::size_t c, const std::vector<bool>& pass) {
+    slots_[c].session.record_response(pass);
+    ++slots_[c].next_seq;
+    emit_next(c);
+  }
+
+  [[nodiscard]] std::vector<ChipReport> take_reports() {
+    std::vector<ChipReport> reports;
+    reports.reserve(slots_.size());
+    for (ChipSlot& s : slots_) reports.push_back(s.session.take_report());
+    return reports;
+  }
+
+ private:
+  void emit_next(std::size_t c) {
+    ChipSlot& s = slots_[c];
+    if (s.session.phase() == SessionPhase::kDone) {
+      const ChipReport& r = s.session.report();
+      *out_ << "report " << c << " iterations=" << r.test.iterations
+            << " forced=" << r.test.forced
+            << " feasible=" << (r.config.feasible ? 1 : 0) << " passed="
+            << (r.passed.has_value() ? (*r.passed ? "1" : "0") : "-")
+            << " xi=" << number(r.config.xi) << " steps";
+      for (int k : r.config.steps) *out_ << ' ' << k;
+      *out_ << '\n';
+      s.finished = true;
+      --unfinished_;
+      return;
+    }
+    const bool final_phase = is_final(c);
+    const Stimulus& stim = s.session.next_stimulus();
+    *out_ << (final_phase ? "final " : "stimulus ") << c << ' ' << s.next_seq
+          << ' ' << number(stim.period) << " steps";
+    for (int k : stim.steps) *out_ << ' ' << k;
+    if (!final_phase) {
+      *out_ << " arm";
+      for (std::size_t p : stim.armed) *out_ << ' ' << p;
+    }
+    *out_ << '\n';
+    ++stimuli_;
+  }
+
+  std::ostream* out_;
+  std::vector<ChipSlot> slots_;
+  std::size_t unfinished_ = 0;
+  std::size_t stimuli_ = 0;
+};
+
+std::vector<bool> decode_bits(const std::string& bits) {
+  std::vector<bool> pass(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] != '0' && bits[i] != '1') {
+      throw std::runtime_error("tune: response bits must be 0/1, got \"" +
+                               bits + "\"");
+    }
+    pass[i] = bits[i] == '1';
+  }
+  return pass;
+}
+
+std::string encode_bits(const std::vector<bool>& pass) {
+  std::string bits(pass.size(), '0');
+  for (std::size_t i = 0; i < pass.size(); ++i) {
+    if (pass[i]) bits[i] = '1';
+  }
+  return bits;
+}
+
+}  // namespace
+
+TuneServer::TuneServer(const core::TunerService& service, std::size_t chips)
+    : service_(&service), chips_(chips) {}
+
+TuneServerResult TuneServer::run(std::istream& in, std::ostream& out) {
+  Exchange exchange(*service_, chips_, out);
+
+  // Buffered out-of-order responses by (chip, seq).
+  std::map<std::pair<std::size_t, std::size_t>, std::string> pending;
+  std::string line;
+  while (exchange.unfinished() > 0) {
+    if (!std::getline(in, line)) {
+      throw std::runtime_error(
+          "tune: response stream ended with " +
+          std::to_string(exchange.unfinished()) + " chip(s) unfinished");
+    }
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string tag, bits, extra;
+    std::size_t chip = 0, seq = 0;
+    if (!(is >> tag) || tag != "response" || !(is >> chip >> seq >> bits) ||
+        (is >> extra)) {
+      throw std::runtime_error("tune: malformed response line \"" + line +
+                               "\"");
+    }
+    if (chip >= exchange.chips()) {
+      throw std::runtime_error("tune: response for unknown chip " +
+                               std::to_string(chip));
+    }
+    if (exchange.slot(chip).finished || seq < exchange.slot(chip).next_seq ||
+        !pending.emplace(std::make_pair(chip, seq), bits).second) {
+      throw std::runtime_error("tune: duplicate/stale response for chip " +
+                               std::to_string(chip) + " seq " +
+                               std::to_string(seq));
+    }
+    // Drain this chip's queue as far as buffered responses allow.
+    while (!exchange.slot(chip).finished) {
+      const auto it =
+          pending.find(std::make_pair(chip, exchange.slot(chip).next_seq));
+      if (it == pending.end()) break;
+      if (it->second.size() != exchange.expected_bits(chip)) {
+        throw std::runtime_error(
+            "tune: response width " + std::to_string(it->second.size()) +
+            " does not match stimulus for chip " + std::to_string(chip) +
+            " seq " + std::to_string(it->first.second));
+      }
+      const std::vector<bool> pass = decode_bits(it->second);
+      pending.erase(it);
+      exchange.apply(chip, pass);
+    }
+  }
+  if (!pending.empty()) {
+    throw std::runtime_error(
+        "tune: " + std::to_string(pending.size()) +
+        " response(s) reference stimuli that were never issued");
+  }
+  out << "bye\n";
+  TuneServerResult result;
+  result.stimuli = exchange.stimuli();
+  result.reports = exchange.take_reports();
+  return result;
+}
+
+TuneServerResult TuneServer::run_simulated(std::ostream& out,
+                                           std::ostream* response_log) {
+  // Dies sampled exactly like run_flow's Monte-Carlo chip loop.
+  const core::Problem& problem = service_->problem();
+  const timing::CircuitModel& model = problem.model();
+  const std::uint64_t base = service_->monte_carlo_seed_base();
+  std::vector<timing::Chip> dies;
+  dies.reserve(chips_);
+  timing::SampleWorkspace ws;
+  for (std::size_t c = 0; c < chips_; ++c) {
+    stats::Rng rng(parallel::index_seed(base, c));
+    dies.push_back(model.sample_chip(rng, ws));
+  }
+  std::vector<core::SimulatedChip> testers;
+  testers.reserve(chips_);
+  for (std::size_t c = 0; c < chips_; ++c) {
+    testers.emplace_back(problem, dies[c]);
+  }
+
+  Exchange exchange(*service_, chips_, out);
+  // Round-robin: one stimulus/response exchange per unfinished chip per
+  // sweep, so a logged session interleaves chips (the interesting replay
+  // case).
+  while (exchange.unfinished() > 0) {
+    for (std::size_t c = 0; c < chips_; ++c) {
+      if (exchange.slot(c).finished) continue;
+      const Stimulus& stim = exchange.outstanding(c);
+      std::vector<bool> pass;
+      if (exchange.is_final(c)) {
+        pass.assign(1, testers[c].final_test(stim.period, stim.steps));
+      } else {
+        pass = testers[c].apply(stim);
+      }
+      if (response_log != nullptr) {
+        *response_log << "response " << c << ' ' << exchange.slot(c).next_seq
+                      << ' ' << encode_bits(pass) << '\n';
+      }
+      exchange.apply(c, pass);
+    }
+  }
+  out << "bye\n";
+  TuneServerResult result;
+  result.stimuli = exchange.stimuli();
+  result.reports = exchange.take_reports();
+  return result;
+}
+
+}  // namespace effitest::io

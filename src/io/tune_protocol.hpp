@@ -1,0 +1,69 @@
+#pragma once
+// Line-oriented stimulus/response protocol for driving TuningSessions from
+// an external tester or a replayed response log — the streaming surface of
+// `effitest_cli tune` and the `serve_chips` example.
+//
+// Server -> tester (one line each, space separated):
+//
+//   effitest-tune-v1 chips=<n> np=<np> nb=<nb> td=<ps>
+//   stimulus <chip> <seq> <period> steps <k0> <k1> ... arm <p0> <p1> ...
+//   final <chip> <seq> <period> steps <k0> <k1> ...
+//   report <chip> iterations=<n> forced=<n> feasible=<0|1> passed=<0|1|->
+//          xi=<ps> steps <k0> <k1> ...
+//   bye
+//
+// Tester -> server, one line per answered stimulus:
+//
+//   response <chip> <seq> <bits>
+//
+// where <bits> is one '1' (pass) or '0' (fail) character per armed pair of
+// the stimulus with that (chip, seq) — exactly one character for a `final`
+// line. Sequence numbers are per chip, starting at 0.
+//
+// Responses may arrive in ANY order — interleaved across chips and even
+// shuffled within a chip (a replayed log): the server buffers them by
+// (chip, seq) and applies each chip's next expected sequence number as
+// soon as it is available. Sessions are pure functions of their responses
+// (core/tuner_service.hpp), so the reports are identical for every legal
+// ordering of the same response set.
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "core/tuner_service.hpp"
+
+namespace effitest::io {
+
+struct TuneServerResult {
+  std::vector<core::ChipReport> reports;  ///< one per chip, in chip order
+  std::size_t stimuli = 0;  ///< stimulus + final lines emitted
+};
+
+/// Streams `chips` per-chip TuningSessions of one shared TunerService over
+/// the protocol above. The service must outlive the server.
+class TuneServer {
+ public:
+  TuneServer(const core::TunerService& service, std::size_t chips);
+
+  /// Interactive / replay mode: emit stimuli on `out`, consume `response`
+  /// lines from `in` (stdin, a pipe, or a replayed — possibly shuffled —
+  /// log). Throws std::runtime_error on malformed input or when the
+  /// stream ends with chips unfinished.
+  [[nodiscard]] TuneServerResult run(std::istream& in, std::ostream& out);
+
+  /// Self-driving mode: every chip is a simulated die sampled exactly like
+  /// run_flow's Monte-Carlo loop (seeded
+  /// parallel::index_seed(service.monte_carlo_seed_base(), chip)), the
+  /// protocol stream still goes to `out`, and the response line every
+  /// stimulus received is appended to `response_log` (when non-null) for
+  /// later replay. Chips advance round-robin, so the log interleaves them.
+  [[nodiscard]] TuneServerResult run_simulated(
+      std::ostream& out, std::ostream* response_log = nullptr);
+
+ private:
+  const core::TunerService* service_;
+  std::size_t chips_;
+};
+
+}  // namespace effitest::io

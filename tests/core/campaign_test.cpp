@@ -1,0 +1,53 @@
+// CampaignRunner error-path coverage: bad inputs must fail (or return)
+// cleanly and up front, never crash mid-fan-out or silently run defaults.
+
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace effitest::core {
+namespace {
+
+TEST(CampaignRunner, EmptyJobListReturnsCleanly) {
+  const CampaignRunner runner;
+  const CampaignResult result = runner.run({});
+  EXPECT_TRUE(result.jobs.empty());
+  EXPECT_EQ(result.total_seconds, 0.0);
+}
+
+TEST(CampaignRunner, CrossWithEmptyCircuitsYieldsNoJobs) {
+  EXPECT_TRUE(CampaignRunner::cross({}, {0.5, 0.8413}).empty());
+}
+
+TEST(CampaignRunner, UnknownCircuitFailsWithClearError) {
+  CampaignOptions options;
+  options.flow.chips = 2;
+  const CampaignRunner runner(options);
+  const std::vector<CampaignJob> jobs{CampaignJob{"s9999_typo", 0.0, -1.0}};
+  try {
+    (void)runner.run(jobs);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("s9999_typo"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown circuit"), std::string::npos) << what;
+  }
+}
+
+TEST(CampaignRunner, UnknownCircuitIsRejectedEvenBehindValidJobs) {
+  // Validation happens up front: a bad name anywhere in the list rejects
+  // the whole campaign (with the same clear error) before any job starts.
+  CampaignOptions options;
+  options.flow.chips = 1;
+  const CampaignRunner runner(options);
+  const std::vector<CampaignJob> jobs{
+      CampaignJob{"s9234", 0.0, -1.0},
+      CampaignJob{"definitely_not_a_circuit", 0.0, -1.0},
+  };
+  EXPECT_THROW((void)runner.run(jobs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace effitest::core

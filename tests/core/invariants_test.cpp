@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "core/flow.hpp"
+#include "core/tuner_service.hpp"
 #include "netlist/generator.hpp"
 
 namespace effitest::core {
@@ -47,8 +48,9 @@ TEST_P(InvariantTest, TestedBoundsAlwaysOrderedAndResolved) {
   stats::Rng chip_rng(GetParam() ^ 0xbeef);
   for (int c = 0; c < 3; ++c) {
     const timing::Chip chip = inst.model.sample_chip(chip_rng);
+    SimulatedChip tester(inst.problem, chip);
     const TestRunResult r =
-        run_delay_test(inst.problem, chip, art.batches, art.prior_lower,
+        run_delay_test(inst.problem, tester, art.batches, art.prior_lower,
                        art.prior_upper, art.hold, topts);
     EXPECT_EQ(r.forced, 0u) << "safety stop engaged";
     for (std::size_t p = 0; p < inst.model.num_pairs(); ++p) {
@@ -71,8 +73,9 @@ TEST_P(InvariantTest, FinalBufferStateRespectsHoldBounds) {
 
   stats::Rng chip_rng(GetParam() ^ 0x2222);
   const timing::Chip chip = inst.model.sample_chip(chip_rng);
+  SimulatedChip tester(inst.problem, chip);
   const TestRunResult r =
-      run_delay_test(inst.problem, chip, art.batches, art.prior_lower,
+      run_delay_test(inst.problem, tester, art.batches, art.prior_lower,
                      art.prior_upper, art.hold, topts);
   // Every hold bound must hold for the final programmed buffer state
   // (alignment is hold-constrained, eq. 21 in the eq. 7-14 problem).
@@ -162,8 +165,9 @@ TEST(BindingHoldBounds, TestEngineRespectsSynthesizedBound) {
   stats::Rng chip_rng(6);
   for (int c = 0; c < 4; ++c) {
     const timing::Chip chip = inst.model.sample_chip(chip_rng);
+    SimulatedChip tester(inst.problem, chip);
     const TestRunResult r =
-        run_delay_test(inst.problem, chip, art.batches, art.prior_lower,
+        run_delay_test(inst.problem, tester, art.batches, art.prior_lower,
                        art.prior_upper, art.hold, topts);
     const double x = buf.value(r.final_steps[static_cast<std::size_t>(target_buf)]);
     EXPECT_GE(x, bound - 1e-9) << "chip " << c;

@@ -4,10 +4,35 @@
 
 #include <numeric>
 
+#include "core/tuner_service.hpp"
 #include "netlist/generator.hpp"
 
 namespace effitest::core {
 namespace {
+
+// The engine observes chips only through ChipUnderTest; these helpers wrap
+// a sampled die in the SimulatedChip adapter for the historical in-process
+// call shape.
+TestRunResult run_delay_test(const Problem& problem, const timing::Chip& chip,
+                             const std::vector<Batch>& batches,
+                             std::span<const double> prior_lower,
+                             std::span<const double> prior_upper,
+                             std::span<const HoldConstraintX> hold,
+                             const TestOptions& options = {}) {
+  SimulatedChip tester(problem, chip);
+  return core::run_delay_test(problem, tester, batches, prior_lower,
+                              prior_upper, hold, options);
+}
+
+TestRunResult run_pathwise_test(const Problem& problem,
+                                const timing::Chip& chip,
+                                std::span<const double> prior_lower,
+                                std::span<const double> prior_upper,
+                                const TestOptions& options = {}) {
+  SimulatedChip tester(problem, chip);
+  return core::run_pathwise_test(problem, tester, prior_lower, prior_upper,
+                                 options);
+}
 
 struct Fixture {
   netlist::GeneratedCircuit circuit;

@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "core/flow.hpp"
+#include "core/tuner_service.hpp"
 #include "netlist/bench_parser.hpp"
 #include "netlist/generator.hpp"
 
@@ -126,8 +127,9 @@ TEST(EndToEnd, PredictionAccuracyOnTrueDelays) {
   std::size_t total = 0;
   for (int c = 0; c < 20; ++c) {
     const timing::Chip chip = model.sample_chip(chip_rng);
+    SimulatedChip tester(problem, chip);
     const TestRunResult tr =
-        run_delay_test(problem, chip, art.batches, art.prior_lower,
+        run_delay_test(problem, tester, art.batches, art.prior_lower,
                        art.prior_upper, art.hold, topts);
     std::vector<double> ml(art.tested.size());
     std::vector<double> mu(art.tested.size());

@@ -44,18 +44,20 @@ void expect_same_outcome(const FlowResult& fresh, const FlowResult& reused) {
   EXPECT_EQ(a.forced_resolutions, b.forced_resolutions);
   EXPECT_EQ(a.infeasible_configs, b.infeasible_configs);
 
-  EXPECT_EQ(fresh.artifacts.tested, reused.artifacts.tested);
-  ASSERT_EQ(fresh.artifacts.batches.size(), reused.artifacts.batches.size());
-  for (std::size_t i = 0; i < fresh.artifacts.batches.size(); ++i) {
-    EXPECT_EQ(fresh.artifacts.batches[i].paths,
-              reused.artifacts.batches[i].paths);
+  EXPECT_EQ(fresh.artifacts->tested, reused.artifacts->tested);
+  ASSERT_EQ(fresh.artifacts->batches.size(), reused.artifacts->batches.size());
+  for (std::size_t i = 0; i < fresh.artifacts->batches.size(); ++i) {
+    EXPECT_EQ(fresh.artifacts->batches[i].paths,
+              reused.artifacts->batches[i].paths);
   }
-  ASSERT_EQ(fresh.artifacts.hold.size(), reused.artifacts.hold.size());
-  for (std::size_t i = 0; i < fresh.artifacts.hold.size(); ++i) {
-    EXPECT_EQ(fresh.artifacts.hold[i].src_buf, reused.artifacts.hold[i].src_buf);
-    EXPECT_EQ(fresh.artifacts.hold[i].dst_buf, reused.artifacts.hold[i].dst_buf);
-    EXPECT_DOUBLE_EQ(fresh.artifacts.hold[i].lambda,
-                     reused.artifacts.hold[i].lambda);
+  ASSERT_EQ(fresh.artifacts->hold.size(), reused.artifacts->hold.size());
+  for (std::size_t i = 0; i < fresh.artifacts->hold.size(); ++i) {
+    EXPECT_EQ(fresh.artifacts->hold[i].src_buf,
+              reused.artifacts->hold[i].src_buf);
+    EXPECT_EQ(fresh.artifacts->hold[i].dst_buf,
+              reused.artifacts->hold[i].dst_buf);
+    EXPECT_DOUBLE_EQ(fresh.artifacts->hold[i].lambda,
+                     reused.artifacts->hold[i].lambda);
   }
 }
 
@@ -70,7 +72,7 @@ TEST(FlowReuse, SweepingDesignatedPeriodMatchesFreshPrepare) {
 
   // Prepare once (artifacts are T_d-independent) ...
   const FlowResult first = run_flow(problem, base);
-  const FlowArtifacts prepared = first.artifacts;
+  const std::shared_ptr<const FlowArtifacts> prepared = first.artifacts;
   const double t1 = first.metrics.designated_period;
   ASSERT_GT(t1, 0.0);
 
@@ -79,7 +81,7 @@ TEST(FlowReuse, SweepingDesignatedPeriodMatchesFreshPrepare) {
     FlowOptions opts = base;
     opts.designated_period = scale * t1;
     const FlowResult fresh = run_flow(problem, opts);
-    const FlowResult reused = run_flow(problem, opts, &prepared);
+    const FlowResult reused = run_flow(problem, opts, prepared.get());
     SCOPED_TRACE("T_d scale " + std::to_string(scale));
     expect_same_outcome(fresh, reused);
   }

@@ -104,7 +104,7 @@ TEST(RunFlow, MetricsInternallyConsistent) {
   const FlowMetrics& m = r.metrics;
 
   EXPECT_EQ(m.np, f.model.num_pairs());
-  EXPECT_EQ(m.npt, r.artifacts.tested.size());
+  EXPECT_EQ(m.npt, r.artifacts->tested.size());
   EXPECT_GT(m.npt, 0u);
   EXPECT_LE(m.npt, m.np);
   EXPECT_GT(m.num_batches, 0u);
@@ -168,7 +168,7 @@ TEST(RunFlow, ArtifactReuseReproducesResults) {
   opts.chips = 25;
   opts.seed = 12;
   const FlowResult fresh = run_flow(f.problem, opts);
-  const FlowResult reused = run_flow(f.problem, opts, &fresh.artifacts);
+  const FlowResult reused = run_flow(f.problem, opts, fresh.artifacts.get());
   EXPECT_DOUBLE_EQ(reused.metrics.ta, fresh.metrics.ta);
   EXPECT_DOUBLE_EQ(reused.metrics.yield_proposed,
                    fresh.metrics.yield_proposed);

@@ -118,15 +118,15 @@ TEST(PredictionGain, CachedFlowMetricsMatchRebuiltFlowMetrics) {
   opts.chips = 60;
   opts.seed = 7;
   const FlowResult fresh = run_flow(f.problem, opts);
-  const FlowResult cached = run_flow(f.problem, opts, &fresh.artifacts);
+  const FlowResult cached = run_flow(f.problem, opts, fresh.artifacts.get());
   expect_metrics_identical(fresh.metrics, cached.metrics);
 
   // The reused artifacts alias the same gain object — reuse shares, it does
   // not refactorize or deep-copy.
-  ASSERT_TRUE(fresh.artifacts.predictor.has_value());
-  ASSERT_TRUE(cached.artifacts.predictor.has_value());
-  EXPECT_EQ(fresh.artifacts.predictor->shared_gain().get(),
-            cached.artifacts.predictor->shared_gain().get());
+  ASSERT_TRUE(fresh.artifacts->predictor.has_value());
+  ASSERT_TRUE(cached.artifacts->predictor.has_value());
+  EXPECT_EQ(fresh.artifacts->predictor->shared_gain().get(),
+            cached.artifacts->predictor->shared_gain().get());
 }
 
 }  // namespace

@@ -1,0 +1,189 @@
+// Tune-protocol tests: the line-oriented stimulus/response server must
+// reproduce the in-process driver exactly, tolerate arbitrarily shuffled
+// (out-of-order) replayed response logs, and reject malformed or truncated
+// streams with clear errors instead of wrong results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/tuner_service.hpp"
+#include "io/tune_protocol.hpp"
+#include "netlist/generator.hpp"
+#include "parallel/deterministic_for.hpp"
+#include "timing/model.hpp"
+
+namespace effitest::io {
+namespace {
+
+struct Fixture {
+  netlist::GeneratedCircuit circuit;
+  netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  timing::CircuitModel model;
+  core::Problem problem;
+  core::FlowOptions options;
+
+  Fixture()
+      : circuit(netlist::generate_circuit([] {
+          netlist::GeneratorSpec s;
+          s.num_flip_flops = 70;
+          s.num_gates = 900;
+          s.num_buffers = 2;
+          s.num_critical_paths = 20;
+          s.seed = 23;
+          return s;
+        }())),
+        model(circuit.netlist, lib, circuit.buffered_ffs),
+        problem(model) {
+    options.seed = 1234;
+  }
+};
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+void expect_reports_equal(const core::ChipReport& a,
+                          const core::ChipReport& b) {
+  EXPECT_EQ(a.test.iterations, b.test.iterations);
+  EXPECT_EQ(a.test.forced, b.test.forced);
+  EXPECT_EQ(a.test.tested, b.test.tested);
+  ASSERT_EQ(a.test.lower.size(), b.test.lower.size());
+  for (std::size_t p = 0; p < a.test.lower.size(); ++p) {
+    EXPECT_EQ(a.test.lower[p], b.test.lower[p]) << "lower " << p;
+    EXPECT_EQ(a.test.upper[p], b.test.upper[p]) << "upper " << p;
+  }
+  EXPECT_EQ(a.config.feasible, b.config.feasible);
+  EXPECT_EQ(a.config.steps, b.config.steps);
+  EXPECT_EQ(a.config.xi, b.config.xi);
+  EXPECT_EQ(a.passed, b.passed);
+}
+
+TEST(TuneProtocol, SimulatedRunMatchesDirectDrive) {
+  Fixture f;
+  const core::TunerService service(f.problem, f.options);
+  constexpr std::size_t kChips = 4;
+
+  TuneServer server(service, kChips);
+  std::ostringstream protocol, log;
+  const TuneServerResult streamed = server.run_simulated(protocol, &log);
+  ASSERT_EQ(streamed.reports.size(), kChips);
+
+  for (std::size_t c = 0; c < kChips; ++c) {
+    stats::Rng rng(parallel::index_seed(service.monte_carlo_seed_base(), c));
+    const timing::Chip die = f.model.sample_chip(rng);
+    core::SimulatedChip tester(f.problem, die);
+    core::TuningSession session = service.begin_chip();
+    session.drive(tester);
+    expect_reports_equal(streamed.reports[c], session.report());
+  }
+
+  // The emitted stream carries the handshake, one report per chip, and a
+  // closing bye.
+  const std::string text = protocol.str();
+  EXPECT_NE(text.find("effitest-tune-v1 chips=4"), std::string::npos);
+  EXPECT_EQ(lines_of(text).back(), "bye");
+  std::size_t reports = 0;
+  for (const std::string& line : lines_of(text)) {
+    if (line.rfind("report ", 0) == 0) ++reports;
+  }
+  EXPECT_EQ(reports, kChips);
+}
+
+TEST(TuneProtocol, InOrderReplayReproducesReports) {
+  Fixture f;
+  const core::TunerService service(f.problem, f.options);
+  constexpr std::size_t kChips = 3;
+
+  std::ostringstream protocol, log;
+  const TuneServerResult simulated =
+      TuneServer(service, kChips).run_simulated(protocol, &log);
+
+  std::istringstream replay(log.str());
+  std::ostringstream replay_out;
+  const TuneServerResult replayed =
+      TuneServer(service, kChips).run(replay, replay_out);
+  ASSERT_EQ(replayed.reports.size(), kChips);
+  EXPECT_EQ(replayed.stimuli, simulated.stimuli);
+  for (std::size_t c = 0; c < kChips; ++c) {
+    expect_reports_equal(replayed.reports[c], simulated.reports[c]);
+  }
+  // Byte-identical protocol stream, responses being equal.
+  EXPECT_EQ(replay_out.str(), protocol.str());
+}
+
+TEST(TuneProtocol, ShuffledOutOfOrderReplayReproducesReports) {
+  // A replayed log shuffled across chips AND within chips must still tune
+  // every chip to the same reports: the server buffers by (chip, seq).
+  Fixture f;
+  const core::TunerService service(f.problem, f.options);
+  constexpr std::size_t kChips = 3;
+
+  std::ostringstream protocol, log;
+  const TuneServerResult simulated =
+      TuneServer(service, kChips).run_simulated(protocol, &log);
+
+  std::vector<std::string> responses = lines_of(log.str());
+  std::mt19937_64 shuffle_rng(99);
+  std::shuffle(responses.begin(), responses.end(), shuffle_rng);
+
+  std::istringstream replay(join_lines(responses));
+  std::ostringstream replay_out;
+  const TuneServerResult replayed =
+      TuneServer(service, kChips).run(replay, replay_out);
+  ASSERT_EQ(replayed.reports.size(), kChips);
+  for (std::size_t c = 0; c < kChips; ++c) {
+    expect_reports_equal(replayed.reports[c], simulated.reports[c]);
+  }
+}
+
+TEST(TuneProtocol, TruncatedReplayFailsCleanly) {
+  Fixture f;
+  const core::TunerService service(f.problem, f.options);
+  std::ostringstream protocol, log;
+  (void)TuneServer(service, 2).run_simulated(protocol, &log);
+
+  std::vector<std::string> responses = lines_of(log.str());
+  ASSERT_GT(responses.size(), 1u);
+  responses.pop_back();
+  std::istringstream replay(join_lines(responses));
+  std::ostringstream out;
+  EXPECT_THROW((void)TuneServer(service, 2).run(replay, out),
+               std::runtime_error);
+}
+
+TEST(TuneProtocol, MalformedAndForeignResponsesFailCleanly) {
+  Fixture f;
+  const core::TunerService service(f.problem, f.options);
+
+  const auto run_with = [&](const std::string& input) {
+    std::istringstream in(input);
+    std::ostringstream out;
+    return TuneServer(service, 1).run(in, out);
+  };
+  EXPECT_THROW((void)run_with("nonsense line\n"), std::runtime_error);
+  EXPECT_THROW((void)run_with("response 7 0 1\n"), std::runtime_error);
+  EXPECT_THROW((void)run_with("response 0 0 2xy\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace effitest::io

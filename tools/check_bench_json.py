@@ -9,13 +9,16 @@ Two jobs, both exercised by the perf-smoke CI job:
    records}; records is a list of objects with keys {circuit, metric,
    value, wall_seconds}, finite numeric value, non-negative wall_seconds.
 
-2. Regression check (--baseline FILE): the baseline names a bench and a
-   circuit and pins paper metrics (ra, t'v, ...) with per-metric tolerance
-   and direction. The flow metrics are deterministic for a fixed
+2. Regression check (--baseline FILE, repeatable; --baselines-dir DIR
+   applies every *.json in DIR): each baseline names a bench and a circuit
+   and pins paper metrics (ra, t'v, ...) with per-metric tolerance and
+   direction. The flow metrics are deterministic for a fixed
    (seed, chips) — bit-identical for any thread count — so the tolerance
    only absorbs toolchain/libstdc++ drift, not Monte-Carlo noise. A value
    worse than baseline-beyond-tolerance fails; a value better by more than
-   the tolerance warns (re-record the baseline to bank the win).
+   the tolerance warns (re-record the baseline to bank the win). A
+   baseline whose circuit/metric is absent from every validated report
+   fails too — committing a baseline obliges CI to keep measuring it.
 
 Baseline format (bench/baselines/s9234.json):
 
@@ -30,7 +33,8 @@ Baseline format (bench/baselines/s9234.json):
     }
 
 Usage:
-    check_bench_json.py [--baseline FILE] BENCH_foo.json [BENCH_bar.json ...]
+    check_bench_json.py [--baseline FILE ...] [--baselines-dir DIR]
+                        BENCH_foo.json [BENCH_bar.json ...]
 
 Exit status: 0 = all checks passed, 1 = violation, 2 = usage error.
 """
@@ -38,8 +42,10 @@ Exit status: 0 = all checks passed, 1 = violation, 2 = usage error.
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import math
+import os
 import sys
 
 SCHEMA_ID = "effitest-bench-v1"
@@ -157,7 +163,15 @@ def main() -> None:
     parser.add_argument("files", nargs="+", help="BENCH_*.json reports")
     parser.add_argument(
         "--baseline",
-        help="baseline JSON pinning paper metrics (see bench/baselines/)",
+        action="append",
+        default=[],
+        help="baseline JSON pinning paper metrics (see bench/baselines/); "
+        "repeatable",
+    )
+    parser.add_argument(
+        "--baselines-dir",
+        help="directory of committed baselines; every *.json in it is "
+        "applied (the CI shape: each baselined circuit stays gated)",
     )
     args = parser.parse_args()
 
@@ -170,8 +184,14 @@ def main() -> None:
             fail(f"{path}: {exc}")
         docs.append(validate_schema(path, doc))
 
-    if args.baseline:
-        check_baseline(args.baseline, docs)
+    baselines = list(args.baseline)
+    if args.baselines_dir:
+        found = sorted(glob.glob(os.path.join(args.baselines_dir, "*.json")))
+        if not found:
+            fail(f"--baselines-dir {args.baselines_dir}: no *.json baselines")
+        baselines.extend(found)
+    for baseline in baselines:
+        check_baseline(baseline, docs)
     print("all bench JSON checks passed")
 
 

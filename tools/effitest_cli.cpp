@@ -1,6 +1,8 @@
 // effitest_cli — command-line front end for the EffiTest library.
 //
 // Subcommands:
+//   help      [command]
+//             Print usage (for one command or all of them).
 //   generate  --circuit=<paper name> [--out=file.bench] [--seed=S]
 //             Generate a clustered benchmark circuit (Table-1 statistics)
 //             and optionally export it as ISCAS89 .bench with placement.
@@ -10,29 +12,48 @@
 //             Analytic (Clark) vs Monte-Carlo untuned-period distribution.
 //   run       --bench=... [--buffers=N] | --circuit=<name>
 //             [--chips=N] [--td=ps] [--quantile=q] [--no-prediction]
-//             [--no-alignment] [--seed=S] [--threads=N]
+//             [--no-alignment] [--seed=S] [--threads=N] [--json=file]
 //             Run the full EffiTest flow and print the metrics.
 //   campaign  [--circuits=a,b,...] [--quantiles=q1,q2,...] [--chips=N]
-//             [--seed=S] [--threads=N] [--inflation=k]
+//             [--seed=S] [--threads=N] [--inflation=k] [--json=file]
 //             Fan whole-circuit / T_d-sweep jobs out across all cores with
 //             FlowArtifacts reuse (Table 1/2-style multi-circuit runs from
 //             one invocation).
+//   tune      --bench=... [--buffers=N] | --circuit=<name>
+//             [--chips=N] [--seed=S] [--td=ps] [--quantile=q] [--threads=N]
+//             [--simulate] [--log=file] [--responses=file]
+//             Stream per-chip TuningSessions over the line-oriented
+//             stimulus/response protocol (src/io/tune_protocol.hpp):
+//             stimuli on stdout, responses from stdin — or from a replayed
+//             (possibly shuffled) --responses log, or self-answered with
+//             --simulate (writing the would-be tester responses to --log).
+//
+// Unknown options, unknown flags and stray positional arguments are
+// rejected with a clear error (exit code 2) — a typo like --chip=200 must
+// not silently run the defaults.
 //
 // Examples:
 //   effitest_cli generate --circuit=s9234 --out=/tmp/s9234_like.bench
-//   effitest_cli run --circuit=s13207 --chips=2000
-//   effitest_cli run --bench=/tmp/s9234_like.bench --buffers=2
+//   effitest_cli run --circuit=s13207 --chips=2000 --json=run.json
 //   effitest_cli campaign --circuits=s9234,s13207 --quantiles=0.5,0.8413
+//   effitest_cli tune --circuit=s9234 --chips=3 --simulate --log=resp.log
+//   effitest_cli tune --circuit=s9234 --chips=3 --responses=resp.log
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "core/campaign.hpp"
 #include "core/flow.hpp"
 #include "core/table.hpp"
+#include "core/tuner_service.hpp"
+#include "io/bench_json.hpp"
+#include "io/tune_protocol.hpp"
 #include "netlist/bench_parser.hpp"
 #include "netlist/bench_writer.hpp"
 #include "netlist/generator.hpp"
@@ -47,6 +68,7 @@ struct Cli {
   std::string command;
   std::map<std::string, std::string> options;
   std::vector<std::string> flags;
+  std::vector<std::string> positionals;  ///< non-option args after command
 
   [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
     const auto it = options.find(key);
@@ -63,7 +85,10 @@ Cli parse_cli(int argc, char** argv) {
   if (argc > 1) cli.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
-    if (a.rfind("--", 0) != 0) continue;
+    if (a.rfind("--", 0) != 0) {
+      cli.positionals.push_back(std::move(a));
+      continue;
+    }
     a = a.substr(2);
     const std::size_t eq = a.find('=');
     if (eq == std::string::npos) {
@@ -75,20 +100,133 @@ Cli parse_cli(int argc, char** argv) {
   return cli;
 }
 
-void usage() {
-  std::cout <<
-      R"(usage: effitest_cli <command> [options]
-commands:
-  generate --circuit=<name> [--out=file.bench] [--seed=S]
-  info     --bench=file | --circuit=<name>
-  ssta     --bench=file | --circuit=<name> [--chips=N]
-  run      --bench=file [--buffers=N] | --circuit=<name>
-           [--chips=N] [--td=ps] [--quantile=q] [--seed=S]
-           [--no-prediction] [--no-alignment] [--threads=N]
-  campaign [--circuits=a,b,...] [--quantiles=q1,q2,...] [--chips=N]
-           [--seed=S] [--threads=N] [--inflation=k]
-paper circuits: s9234 s13207 s15850 s38584 mem_ctrl usb_funct ac97_ctrl pci_bridge32
-)";
+/// What each command accepts. `options` take --key=value, `flags` are bare
+/// --switches; anything else is rejected.
+struct CommandSpec {
+  std::set<std::string> options;
+  std::set<std::string> flags;
+  const char* usage;
+};
+
+const std::map<std::string, CommandSpec>& command_specs() {
+  static const std::map<std::string, CommandSpec> specs = {
+      {"help", {{}, {}, "help [command]"}},
+      {"generate",
+       {{"circuit", "out", "seed"},
+        {},
+        "generate --circuit=<name> [--out=file.bench] [--seed=S]"}},
+      {"info",
+       {{"bench", "circuit", "buffers", "seed"},
+        {},
+        "info     --bench=file | --circuit=<name> [--buffers=N]"}},
+      {"ssta",
+       {{"bench", "circuit", "buffers", "seed", "chips"},
+        {},
+        "ssta     --bench=file | --circuit=<name> [--chips=N]"}},
+      {"run",
+       {{"bench", "buffers", "circuit", "chips", "td", "quantile", "seed",
+         "threads", "json"},
+        {"no-prediction", "no-alignment"},
+        "run      --bench=file [--buffers=N] | --circuit=<name>\n"
+        "         [--chips=N] [--td=ps] [--quantile=q] [--seed=S]\n"
+        "         [--no-prediction] [--no-alignment] [--threads=N]\n"
+        "         [--json=file]"}},
+      {"campaign",
+       {{"circuits", "quantiles", "chips", "seed", "threads", "inflation",
+         "json"},
+        {},
+        "campaign [--circuits=a,b,...] [--quantiles=q1,q2,...] [--chips=N]\n"
+        "         [--seed=S] [--threads=N] [--inflation=k] [--json=file]"}},
+      {"tune",
+       {{"bench", "buffers", "circuit", "chips", "td", "quantile", "seed",
+         "threads", "log", "responses"},
+        {"simulate"},
+        "tune     --bench=file [--buffers=N] | --circuit=<name>\n"
+        "         [--chips=N] [--td=ps] [--quantile=q] [--seed=S]\n"
+        "         [--threads=N] [--simulate] [--log=file] "
+        "[--responses=file]"}},
+  };
+  return specs;
+}
+
+void usage(std::ostream& os) {
+  os << "usage: effitest_cli <command> [options]\ncommands:\n";
+  // Stable presentation order (not the map's alphabetical one).
+  for (const char* name :
+       {"help", "generate", "info", "ssta", "run", "campaign", "tune"}) {
+    os << "  " << command_specs().at(name).usage << '\n';
+  }
+  os << "paper circuits: s9234 s13207 s15850 s38584 mem_ctrl usb_funct "
+        "ac97_ctrl pci_bridge32\n";
+}
+
+std::string join_sorted(const std::set<std::string>& names,
+                        const char* prefix) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ' ';
+    out += prefix;
+    out += n;
+  }
+  return out;
+}
+
+/// Reject unknown options/flags/positionals. Returns 0 when valid.
+int validate_cli(const Cli& cli) {
+  const auto it = command_specs().find(cli.command);
+  if (it == command_specs().end()) {
+    std::cerr << "error: unknown command '" << cli.command << "'\n";
+    usage(std::cerr);
+    return 2;
+  }
+  const CommandSpec& spec = it->second;
+  for (const auto& [key, value] : cli.options) {
+    if (spec.options.count(key) != 0) continue;
+    std::cerr << "error: unknown option --" << key << "=" << value
+              << " for command '" << cli.command << "'\n";
+    if (spec.flags.count(key) != 0) {
+      std::cerr << "(--" << key << " is a flag and takes no value)\n";
+    } else if (!spec.options.empty()) {
+      std::cerr << "valid options: " << join_sorted(spec.options, "--")
+                << '\n';
+    }
+    return 2;
+  }
+  for (const std::string& flag : cli.flags) {
+    if (spec.flags.count(flag) != 0) continue;
+    std::cerr << "error: unknown flag --" << flag << " for command '"
+              << cli.command << "'\n";
+    if (spec.options.count(flag) != 0) {
+      std::cerr << "(--" << flag << " needs a value: --" << flag << "=...)\n";
+    } else if (!spec.flags.empty()) {
+      std::cerr << "valid flags: " << join_sorted(spec.flags, "--") << '\n';
+    }
+    return 2;
+  }
+  // `help <command>` is the one legal positional.
+  if (!cli.positionals.empty() && cli.command != "help") {
+    std::cerr << "error: unexpected argument '" << cli.positionals.front()
+              << "' for command '" << cli.command
+              << "' (options are --key=value)\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_help(const Cli& cli) {
+  if (!cli.positionals.empty()) {
+    const auto it = command_specs().find(cli.positionals.front());
+    if (it == command_specs().end()) {
+      std::cerr << "error: unknown command '" << cli.positionals.front()
+                << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+    std::cout << "usage: effitest_cli " << it->second.usage << '\n';
+    return 0;
+  }
+  usage(std::cout);
+  return 0;
 }
 
 /// Buffer-insertion stand-in for .bench circuits (generated circuits carry
@@ -139,8 +277,9 @@ LoadedCircuit load_circuit(const Cli& cli) {
   if (const auto path = cli.get("bench")) {
     netlist::Netlist nl = netlist::parse_bench_file_with_placement(*path);
     const std::size_t nb =
-        cli.get("buffers") ? std::stoul(*cli.get("buffers"))
-                           : std::max<std::size_t>(1, nl.num_flip_flops() / 100);
+        cli.get("buffers")
+            ? std::stoul(*cli.get("buffers"))
+            : std::max<std::size_t>(1, nl.num_flip_flops() / 100);
     std::vector<int> buffers = pick_buffers(nl, lib, nb);
     return {std::move(nl), std::move(buffers)};
   }
@@ -219,16 +358,10 @@ int cmd_ssta(const Cli& cli) {
   return 0;
 }
 
-int cmd_run(const Cli& cli) {
-  const LoadedCircuit lc = load_circuit(cli);
-  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
-  const timing::CircuitModel model(lc.netlist, lib, lc.buffered_ffs);
-  if (model.num_pairs() == 0) {
-    std::cout << "no monitored paths (no FF pair touches a buffer)\n";
-    return 1;
-  }
-  const core::Problem problem(model);
-
+/// Shared run/tune option plumbing: chips/seed/td/quantile/threads plus the
+/// prediction/alignment switches.
+core::FlowOptions flow_options_from(const Cli& cli,
+                                    const core::Problem& problem) {
   core::FlowOptions opts;
   if (const auto chips = cli.get("chips")) opts.chips = std::stoul(*chips);
   if (const auto seed = cli.get("seed")) opts.seed = std::stoull(*seed);
@@ -243,11 +376,25 @@ int cmd_run(const Cli& cli) {
     opts.designated_period =
         core::period_quantile(problem, std::stod(*q), 2000, rng);
   }
+  return opts;
+}
+
+int cmd_run(const Cli& cli) {
+  const LoadedCircuit lc = load_circuit(cli);
+  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  const timing::CircuitModel model(lc.netlist, lib, lc.buffered_ffs);
+  if (model.num_pairs() == 0) {
+    std::cout << "no monitored paths (no FF pair touches a buffer)\n";
+    return 1;
+  }
+  const core::Problem problem(model);
+  const core::FlowOptions opts = flow_options_from(cli, problem);
 
   const core::FlowResult r = core::run_flow(problem, opts);
   const core::FlowMetrics& m = r.metrics;
   core::Table t({"metric", "value"});
-  t.add_row({"designated period (ps)", core::Table::num(m.designated_period, 2)});
+  t.add_row(
+      {"designated period (ps)", core::Table::num(m.designated_period, 2)});
   t.add_row({"monitored paths np", core::Table::num(m.np)});
   t.add_row({"tested paths npt", core::Table::num(m.npt)});
   t.add_row({"batches", core::Table::num(m.num_batches)});
@@ -257,14 +404,39 @@ int cmd_run(const Cli& cli) {
   t.add_row({"path-wise t'a", core::Table::num(m.ta_pathwise, 0)});
   t.add_row({"reduction ra (%)", core::Table::num(m.ra, 2)});
   t.add_row({"reduction rv (%)", core::Table::num(m.rv, 2)});
-  t.add_row({"yield untuned (%)", core::Table::num(m.yield_no_buffer * 100, 2)});
-  t.add_row({"yield proposed yt (%)", core::Table::num(m.yield_proposed * 100, 2)});
+  t.add_row(
+      {"yield untuned (%)", core::Table::num(m.yield_no_buffer * 100, 2)});
+  t.add_row(
+      {"yield proposed yt (%)", core::Table::num(m.yield_proposed * 100, 2)});
   t.add_row({"yield ideal yi (%)", core::Table::num(m.yield_ideal * 100, 2)});
   t.add_row({"yield drop yr (%)", core::Table::num(m.yield_drop * 100, 2)});
   t.add_row({"prep Tp (s)", core::Table::num(m.tp_seconds, 3)});
   t.add_row({"align Tt (s/chip)", core::Table::num(m.tt_seconds_per_chip, 5)});
   t.add_row({"config Ts (s/chip)", core::Table::num(m.ts_seconds_per_chip, 5)});
   t.print(std::cout);
+
+  if (const auto json_path = cli.get("json")) {
+    io::JsonReporter json("run", opts.threads);
+    const std::string circuit = lc.netlist.name();
+    const auto record = [&](const char* metric, double value) {
+      json.add(circuit, metric, value);
+    };
+    record("td", m.designated_period);
+    record("epsilon", m.epsilon_ps);
+    record("np", static_cast<double>(m.np));
+    record("npt", static_cast<double>(m.npt));
+    record("ta", m.ta);
+    record("tv", m.tv);
+    record("t'a", m.ta_pathwise);
+    record("t'v", m.tv_pathwise);
+    record("ra", m.ra);
+    record("rv", m.rv);
+    record("yield_no_buffer", m.yield_no_buffer);
+    record("yield_proposed", m.yield_proposed);
+    record("yield_ideal", m.yield_ideal);
+    std::cout << "machine-readable output: " << json.write_file(*json_path)
+              << '\n';
+  }
   return 0;
 }
 
@@ -299,13 +471,16 @@ int cmd_campaign(const Cli& cli) {
   if (const auto names = cli.get("circuits")) {
     circuits = split_list(*names);
   } else {
-    for (const netlist::GeneratorSpec& spec : netlist::paper_benchmark_specs()) {
+    for (const netlist::GeneratorSpec& spec :
+         netlist::paper_benchmark_specs()) {
       circuits.push_back(spec.name);
     }
   }
   std::vector<double> quantiles;
   if (const auto qs = cli.get("quantiles")) {
-    for (const std::string& q : split_list(*qs)) quantiles.push_back(std::stod(q));
+    for (const std::string& q : split_list(*qs)) {
+      quantiles.push_back(std::stod(q));
+    }
   }
 
   const std::vector<core::CampaignJob> jobs =
@@ -338,6 +513,97 @@ int cmd_campaign(const Cli& cli) {
             << result.jobs.size() << " jobs, "
             << core::Table::num(job_seconds, 2)
             << " s of job time; artifacts reused within circuits)\n";
+
+  if (const auto json_path = cli.get("json")) {
+    io::JsonReporter json("campaign", copts.threads);
+    for (const core::CampaignJobResult& r : result.jobs) {
+      const core::FlowMetrics& m = r.metrics;
+      // One label per (circuit, quantile) so T_d-sweep jobs stay distinct.
+      std::string label = r.job.circuit;
+      if (r.job.quantile >= 0.0) {
+        label += "@q" + core::Table::num(r.job.quantile, 4);
+      }
+      const auto record = [&](const char* metric, double value) {
+        json.add(label, metric, value, r.seconds);
+      };
+      record("td", m.designated_period);
+      record("np", static_cast<double>(m.np));
+      record("npt", static_cast<double>(m.npt));
+      record("ta", m.ta);
+      record("t'v", m.tv_pathwise);
+      record("ra", m.ra);
+      record("rv", m.rv);
+      record("yield_no_buffer", m.yield_no_buffer);
+      record("yield_proposed", m.yield_proposed);
+      record("yield_ideal", m.yield_ideal);
+    }
+    std::cout << "machine-readable output: " << json.write_file(*json_path)
+              << '\n';
+  }
+  return 0;
+}
+
+int cmd_tune(const Cli& cli) {
+  // Mode exclusivity up front, in the same no-silent-surprises spirit (and
+  // with the same usage exit code 2) as the option whitelists: --simulate
+  // answers stimuli itself, so a --responses log would be ignored; --log
+  // records the simulated responses and means nothing without --simulate.
+  if (cli.has_flag("simulate") && cli.get("responses")) {
+    std::cerr << "error: tune: --simulate and --responses are mutually "
+                 "exclusive\n";
+    return 2;
+  }
+  if (cli.get("log") && !cli.has_flag("simulate")) {
+    std::cerr << "error: tune: --log only records simulated responses; "
+                 "combine it with --simulate\n";
+    return 2;
+  }
+  const LoadedCircuit lc = load_circuit(cli);
+  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  const timing::CircuitModel model(lc.netlist, lib, lc.buffered_ffs);
+  if (model.num_pairs() == 0) {
+    std::cerr << "no monitored paths (no FF pair touches a buffer)\n";
+    return 1;
+  }
+  const core::Problem problem(model);
+  core::FlowOptions opts = flow_options_from(cli, problem);
+  const std::size_t chips = cli.get("chips") ? std::stoul(*cli.get("chips"))
+                                             : std::size_t{1};
+
+  const core::TunerService service(problem, opts);
+  io::TuneServer server(service, chips);
+
+  io::TuneServerResult result;
+  if (cli.has_flag("simulate")) {
+    std::ofstream log;
+    std::ostream* log_stream = nullptr;
+    if (const auto log_path = cli.get("log")) {
+      log.open(*log_path);
+      if (!log) {
+        throw std::runtime_error("tune: cannot open --log file " + *log_path);
+      }
+      log_stream = &log;
+    }
+    result = server.run_simulated(std::cout, log_stream);
+  } else if (const auto responses = cli.get("responses")) {
+    std::ifstream in(*responses);
+    if (!in) {
+      throw std::runtime_error("tune: cannot open --responses file " +
+                               *responses);
+    }
+    result = server.run(in, std::cout);
+  } else {
+    result = server.run(std::cin, std::cout);
+  }
+
+  std::size_t passed = 0;
+  for (const core::ChipReport& r : result.reports) {
+    if (r.passed.value_or(false)) ++passed;
+  }
+  std::cerr << "tuned " << result.reports.size() << " chip(s), "
+            << result.stimuli << " tester iterations, " << passed
+            << " passed at Td="
+            << core::Table::num(service.designated_period(), 2) << " ps\n";
   return 0;
 }
 
@@ -345,14 +611,20 @@ int cmd_campaign(const Cli& cli) {
 
 int main(int argc, char** argv) {
   const Cli cli = parse_cli(argc, argv);
+  if (cli.command.empty()) {
+    usage(std::cerr);
+    return 1;
+  }
+  if (const int rc = validate_cli(cli); rc != 0) return rc;
   try {
+    if (cli.command == "help") return cmd_help(cli);
     if (cli.command == "generate") return cmd_generate(cli);
     if (cli.command == "info") return cmd_info(cli);
     if (cli.command == "ssta") return cmd_ssta(cli);
     if (cli.command == "run") return cmd_run(cli);
     if (cli.command == "campaign") return cmd_campaign(cli);
-    usage();
-    return cli.command.empty() ? 1 : 2;
+    if (cli.command == "tune") return cmd_tune(cli);
+    return 2;  // unreachable: validate_cli rejected unknown commands
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
