@@ -2,22 +2,21 @@
 //
 // The repository cannot redistribute the original ISCAS89 netlists, so by
 // default this example writes a small self-contained .bench file to /tmp,
-// parses it back, inserts tuning buffers at the most loaded flip-flops and
-// runs the full flow — exactly what a user would do with a real s9234.bench:
+// registers it in a scenario::CircuitCatalog and resolves it — parsing,
+// tuning-buffer insertion (BufferPolicy::kWorstDelay: the most loaded
+// flip-flops) and model/problem assembly all happen in the shared
+// provisioning layer, exactly what a user would do with a real s9234.bench:
 //
 //   ./build/examples/bench_circuit_import path/to/s9234.bench 2
 //
 // (second argument: number of tuning buffers to insert).
 
-#include <algorithm>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <string>
 
 #include "core/flow.hpp"
-#include "netlist/bench_parser.hpp"
-#include "timing/graph.hpp"
+#include "scenario/circuit_catalog.hpp"
 
 namespace {
 
@@ -42,28 +41,6 @@ G13 = NAND(G2, G12)
 G17 = NOT(G11)
 )";
 
-/// Pick the `count` flip-flops with the largest incident worst path delay —
-/// a simple stand-in for the buffer insertion of the paper's refs. [3, 12].
-std::vector<int> pick_buffers(const effitest::netlist::Netlist& nl,
-                              const effitest::netlist::CellLibrary& lib,
-                              std::size_t count) {
-  const effitest::timing::TimingGraph graph(nl, lib);
-  std::map<int, double> criticality;
-  for (const auto& pd : graph.all_pair_delays()) {
-    criticality[pd.src_ff] = std::max(criticality[pd.src_ff], pd.max_delay);
-    criticality[pd.dst_ff] = std::max(criticality[pd.dst_ff], pd.max_delay);
-  }
-  std::vector<std::pair<double, int>> ranked;
-  for (const auto& [ff, crit] : criticality) ranked.emplace_back(crit, ff);
-  std::sort(ranked.rbegin(), ranked.rend());
-  std::vector<int> out;
-  for (std::size_t i = 0; i < ranked.size() && out.size() < count; ++i) {
-    out.push_back(ranked[i].second);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -79,31 +56,31 @@ int main(int argc, char** argv) {
   }
   const std::size_t nb = argc > 2 ? std::stoul(argv[2]) : 2;
 
-  const netlist::Netlist nl = netlist::parse_bench_file(path);
+  scenario::CircuitCatalog catalog;
+  catalog.add("import", scenario::BenchCircuit{
+                            path, nb, scenario::BufferPolicy::kWorstDelay});
+  const auto circuit = catalog.resolve("import");
+  const netlist::Netlist& nl = circuit->netlist;
   std::cout << "parsed " << nl.name() << ": " << nl.num_flip_flops()
             << " FFs, " << nl.num_combinational_gates() << " gates, "
             << nl.primary_inputs().size() << " PIs\n";
 
-  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
-  const std::vector<int> buffers = pick_buffers(nl, lib, nb);
   std::cout << "inserting tuning buffers at flip-flops:";
-  for (int ff : buffers) std::cout << ' ' << nl.cell(ff).name;
+  for (int ff : circuit->buffered_ffs) std::cout << ' ' << nl.cell(ff).name;
   std::cout << '\n';
 
-  const timing::CircuitModel model(nl, lib, buffers);
-  std::cout << "monitored FF-pair paths: " << model.num_pairs()
-            << ", nominal critical delay " << model.nominal_critical_delay()
-            << " ps\n";
-  if (model.num_pairs() == 0) {
+  std::cout << "monitored FF-pair paths: " << circuit->model.num_pairs()
+            << ", nominal critical delay "
+            << circuit->model.nominal_critical_delay() << " ps\n";
+  if (circuit->model.num_pairs() == 0) {
     std::cout << "nothing to tune; done.\n";
     return 0;
   }
 
-  const core::Problem problem(model);
   core::FlowOptions opts;
   opts.chips = 200;
   opts.hold.samples = 200;
-  const core::FlowResult r = core::run_flow(problem, opts);
+  const core::FlowResult r = core::run_flow(circuit->problem, opts);
   std::cout << "\nEffiTest on " << nl.name() << ":\n"
             << "  tested paths:        " << r.metrics.npt << "/"
             << r.metrics.np << '\n'

@@ -6,9 +6,8 @@
 #include <utility>
 
 #include "core/yield.hpp"
-#include "netlist/generator.hpp"
 #include "parallel/deterministic_for.hpp"
-#include "timing/model.hpp"
+#include "scenario/circuit_catalog.hpp"
 
 namespace effitest::core {
 
@@ -48,16 +47,18 @@ CampaignResult CampaignRunner::run(
   CampaignResult out;
   if (jobs.empty()) return out;  // nothing to run, nothing to time
 
+  const std::shared_ptr<const scenario::CircuitCatalog> catalog =
+      options_.catalog ? options_.catalog
+                       : scenario::CircuitCatalog::shared_paper();
+
   // Validate every circuit name up front: a typo must fail with one clear
   // error before any job starts, not from inside the parallel fan-out.
+  // spec() already formats the unknown-name message (with the registry).
   for (const CampaignJob& job : jobs) {
     try {
-      (void)netlist::paper_benchmark_spec(job.circuit);
-    } catch (const std::exception&) {
-      throw std::invalid_argument(
-          "CampaignRunner: unknown circuit \"" + job.circuit +
-          "\" (paper benchmarks: s9234 s13207 s15850 s38584 mem_ctrl "
-          "usb_funct ac97_ctrl pci_bridge32)");
+      (void)catalog->spec(job.circuit);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument(std::string("CampaignRunner: ") + e.what());
     }
   }
   out.jobs.resize(jobs.size());
@@ -81,14 +82,11 @@ CampaignResult CampaignRunner::run(
   parallel::deterministic_for(groups.size(), fopts, [&](std::size_t gi) {
     const auto& [name, indices] = groups[gi];
 
-    const netlist::GeneratedCircuit circuit =
-        netlist::generate_circuit(netlist::paper_benchmark_spec(name));
-    const netlist::CellLibrary library = netlist::CellLibrary::standard();
-    timing::ModelOptions model_options;
-    model_options.random_inflation = options_.random_inflation;
-    const timing::CircuitModel model(circuit.netlist, library,
-                                     circuit.buffered_ffs, model_options);
-    const Problem problem(model);
+    // One memoized resolve per circuit: repeated campaigns (and any other
+    // consumer of the same catalog) share the prepared bundle.
+    const std::shared_ptr<const scenario::PreparedCircuit> circuit =
+        catalog->resolve(name, options_.random_inflation);
+    const Problem& problem = circuit->problem;
 
     // Null for the first job (fresh prepare); every later job of the
     // circuit aliases the first job's artifacts — no copies.
@@ -98,6 +96,9 @@ CampaignResult CampaignRunner::run(
       FlowOptions opts = options_.flow;
       if (opts.threads == 0) opts.threads = options_.threads;
       opts.designated_period = job.designated_period;
+      if (options_.use_exclusions) {
+        opts.batching.exclusions = circuit->exclusions;
+      }
       const auto j0 = Clock::now();  // job time includes T_d calibration
       if (opts.designated_period <= 0.0 && job.quantile >= 0.0) {
         stats::Rng calibration(options_.flow.seed ^
@@ -110,8 +111,8 @@ CampaignResult CampaignRunner::run(
       CampaignJobResult& slot = out.jobs[idx];
       slot.job = job;
       slot.metrics = result.metrics;
-      slot.metrics.ns = circuit.netlist.num_flip_flops();
-      slot.metrics.ng = circuit.netlist.num_combinational_gates();
+      slot.metrics.ns = circuit->netlist.num_flip_flops();
+      slot.metrics.ng = circuit->netlist.num_combinational_gates();
       slot.seconds = seconds_since(j0);
       if (prepared == nullptr) {
         prepared = std::move(result.artifacts);  // shared, not copied

@@ -3,10 +3,14 @@
 //
 // A campaign is a flat list of (circuit, designated-period) jobs — the shape
 // of Table 1 (every circuit at the T1 convention) and Table 2 (every circuit
-// at the T1/T2 quantiles). The runner:
+// at the T1/T2 quantiles). Circuits are provisioned through a
+// scenario::CircuitCatalog (the eight paper benchmarks by default), so
+// `.bench`-imported, scaled and inline-generated circuits sweep alongside
+// paper ones. The runner:
 //
 //  * fans distinct circuits out across the shared thread pool (each circuit
-//    is generated, modeled and prepared exactly once);
+//    is resolved through the catalog's memoized cache, so it is generated,
+//    modeled and prepared exactly once — per process, not just per run);
 //  * runs same-circuit jobs sequentially against the reused T_d-independent
 //    FlowArtifacts (the Table-2 pattern), so an 8-circuit x 2-period sweep
 //    costs 8 offline preparations, not 16;
@@ -20,16 +24,22 @@
 // thread count (job wall-clock fields excepted).
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/flow.hpp"
 
+namespace effitest::scenario {
+class CircuitCatalog;
+}  // namespace effitest::scenario
+
 namespace effitest::core {
 
 /// One flow invocation of a campaign.
 struct CampaignJob {
-  /// Paper benchmark name (netlist::paper_benchmark_spec).
+  /// Catalog name of the circuit (a paper benchmark name under the default
+  /// catalog; any registered name under CampaignOptions::catalog).
   std::string circuit;
   /// Explicit designated period T_d (ps). <= 0 defers to `quantile`; when
   /// that is unset too, the flow's T1 convention applies (median untuned
@@ -66,10 +76,19 @@ struct CampaignOptions {
   /// Circuit-level fan-out; 0 = shared-pool width. Same-circuit jobs always
   /// run sequentially (they share the prepared artifacts).
   std::size_t threads = 0;
-  /// ModelOptions::random_inflation for the built circuit models (Fig. 7).
+  /// ModelOptions::random_inflation for the built circuit models (Fig. 7);
+  /// part of the catalog's memoization key.
   double random_inflation = 1.0;
   /// Monte-Carlo dies for quantile calibration of jobs with `quantile` set.
   std::size_t calibration_chips = 2000;
+  /// Circuit registry jobs resolve against; null = the process-wide shared
+  /// paper catalog (scenario::CircuitCatalog::shared_paper()).
+  std::shared_ptr<const scenario::CircuitCatalog> catalog;
+  /// Feed each circuit's logic-masking exclusions
+  /// (PreparedCircuit::exclusions) into BatchingOptions::exclusions. Off by
+  /// default: the historical campaign path never applied them, and golden
+  /// paper metrics are pinned without them.
+  bool use_exclusions = false;
 };
 
 class CampaignRunner {

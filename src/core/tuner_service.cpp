@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/yield.hpp"
+#include "scenario/circuit_catalog.hpp"
 
 namespace effitest::core {
 
@@ -158,6 +159,23 @@ TunerService::TunerService(const Problem& problem, const FlowOptions& options,
                    reuse != nullptr
                        ? std::make_shared<const FlowArtifacts>(*reuse)
                        : std::shared_ptr<const FlowArtifacts>()) {}
+
+namespace {
+const Problem& checked_problem(
+    const std::shared_ptr<const scenario::PreparedCircuit>& circuit) {
+  if (circuit == nullptr) {
+    throw std::invalid_argument("TunerService: null PreparedCircuit");
+  }
+  return circuit->problem;
+}
+}  // namespace
+
+TunerService::TunerService(
+    std::shared_ptr<const scenario::PreparedCircuit> circuit,
+    const FlowOptions& options)
+    : TunerService(checked_problem(circuit), options) {
+  circuit_ = std::move(circuit);
+}
 
 TunerService::TunerService(const Problem& problem, const FlowOptions& options,
                            std::shared_ptr<const FlowArtifacts> artifacts)

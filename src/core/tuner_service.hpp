@@ -38,6 +38,10 @@
 
 #include "core/flow.hpp"
 
+namespace effitest::scenario {
+struct PreparedCircuit;
+}  // namespace effitest::scenario
+
 namespace effitest::core {
 
 /// One physical (or simulated) chip on the tester. Implementations answer
@@ -174,6 +178,14 @@ class TunerService {
   TunerService(const Problem& problem, const FlowOptions& options,
                std::shared_ptr<const FlowArtifacts> artifacts);
 
+  /// Provision from a catalog-resolved circuit
+  /// (scenario::CircuitCatalog::resolve): the service shares ownership of
+  /// the PreparedCircuit — problem() points into it — so the bundle
+  /// outlives the catalog and every session minted from here. Throws
+  /// std::invalid_argument on a null circuit.
+  TunerService(std::shared_ptr<const scenario::PreparedCircuit> circuit,
+               const FlowOptions& options);
+
   /// Mint an independent per-chip session against the shared artifacts.
   [[nodiscard]] TuningSession begin_chip(
       const SessionOptions& options = {}) const;
@@ -207,6 +219,9 @@ class TunerService {
   FlowOptions options_;
   double designated_period_ = 0.0;
   std::shared_ptr<const FlowArtifacts> artifacts_;
+  /// Keepalive for the catalog-provisioned bundle problem_ points into
+  /// (null when constructed from a caller-owned Problem).
+  std::shared_ptr<const scenario::PreparedCircuit> circuit_;
   double prepare_seconds_ = 0.0;
   std::uint64_t monte_carlo_seed_base_ = 0;
 };

@@ -1,0 +1,644 @@
+#include "io/scenario_json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace effitest::io {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser. Self-contained on purpose:
+// the container bakes no JSON dependency, and the scenario schema needs only
+// objects/arrays/strings/numbers/bools. Extensions over strict JSON: `//`
+// line comments (so shipped specs can be annotated). Every error carries the
+// 1-based line of the offending token.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  ///< input order
+  std::size_t line = 0;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+const char* kind_name(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "bool";
+    case JsonValue::Kind::kNumber: return "number";
+    case JsonValue::Kind::kString: return "string";
+    case JsonValue::Kind::kArray: return "array";
+    case JsonValue::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, const std::string& source)
+      : text_(text), source_(source) {}
+
+  [[nodiscard]] JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after the document");
+    return v;
+  }
+
+  [[noreturn]] void fail_at(std::size_t line, const std::string& what) const {
+    throw ScenarioError(source_ + " line " + std::to_string(line) + ": " +
+                        what);
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    fail_at(line_, what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_keyword(const char* kw) {
+    const std::size_t n = std::string(kw).size();
+    if (text_.compare(pos_, n, kw) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    // Recursion guard: a pathological deeply-nested document must raise
+    // ScenarioError, not overflow the stack. Real specs nest ~4 levels.
+    struct DepthGuard {
+      explicit DepthGuard(JsonParser& p) : parser(p) {
+        if (++parser.depth_ > 64) parser.fail("nesting too deep");
+      }
+      ~DepthGuard() { --parser.depth_; }
+      JsonParser& parser;
+    } guard(*this);
+
+    JsonValue v;
+    const char c = peek();
+    v.line = line_;
+    if (c == '{') {
+      v.kind = JsonValue::Kind::kObject;
+      ++pos_;
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        JsonValue key = parse_value();
+        if (key.kind != JsonValue::Kind::kString) {
+          fail_at(key.line, "object key must be a string");
+        }
+        for (const auto& [k, unused] : v.object) {
+          (void)unused;
+          if (k == key.string) {
+            fail_at(key.line, "duplicate key \"" + key.string + "\"");
+          }
+        }
+        expect(':');
+        v.object.emplace_back(std::move(key.string), parse_value());
+        const char next = peek();
+        if (next == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        break;
+      }
+      return v;
+    }
+    if (c == '[') {
+      v.kind = JsonValue::Kind::kArray;
+      ++pos_;
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v.array.push_back(parse_value());
+        const char next = peek();
+        if (next == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        break;
+      }
+      return v;
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't' && consume_keyword("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f' && consume_keyword("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (c == 'n' && consume_keyword("null")) {
+      v.kind = JsonValue::Kind::kNull;
+      return v;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      v.kind = JsonValue::Kind::kNumber;
+      v.number = parse_number();
+      return v;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote (peeked by caller)
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\n') fail("unterminated string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        default:
+          fail(std::string("unsupported escape \\") + e);
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      return pos_ > before;
+    };
+    if (!digits()) fail("malformed number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail("malformed number");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digits()) fail("malformed number");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(value)) {
+      fail("malformed number " + token);
+    }
+    return value;
+  }
+
+  const std::string& text_;
+  const std::string source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t depth_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Schema mapping. Strict: unknown keys anywhere are errors — a typo like
+// "quantile" must not silently run the defaults (the CLI's no-silent-
+// surprises rule, applied to spec files).
+// ---------------------------------------------------------------------------
+
+constexpr const char* kSchemaId = "effitest-scenario-v1";
+
+class SchemaReader {
+ public:
+  SchemaReader(const JsonParser& parser) : parser_(parser) {}
+
+  [[noreturn]] void fail(const JsonValue& at, const std::string& what) const {
+    parser_.fail_at(at.line, what);
+  }
+
+  const JsonValue& require(const JsonValue& obj, const std::string& key,
+                           JsonValue::Kind kind) const {
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr) fail(obj, "missing required key \"" + key + "\"");
+    return typed(*v, key, kind);
+  }
+
+  const JsonValue* optional(const JsonValue& obj, const std::string& key,
+                            JsonValue::Kind kind) const {
+    const JsonValue* v = obj.find(key);
+    if (v == nullptr) return nullptr;
+    return &typed(*v, key, kind);
+  }
+
+  void reject_unknown_keys(const JsonValue& obj,
+                           std::initializer_list<const char*> known,
+                           const std::string& where) const {
+    for (const auto& [key, value] : obj.object) {
+      bool ok = false;
+      for (const char* k : known) ok = ok || key == k;
+      if (ok) continue;
+      std::string valid;
+      for (const char* k : known) valid += std::string(" ") + k;
+      fail(value, "unknown key \"" + key + "\" in " + where +
+                      " (valid:" + valid + ")");
+    }
+  }
+
+  double number(const JsonValue& obj, const std::string& key,
+                double fallback) const {
+    const JsonValue* v = optional(obj, key, JsonValue::Kind::kNumber);
+    return v == nullptr ? fallback : v->number;
+  }
+
+  /// Non-negative integer exactly representable in a double (< 2^53, which
+  /// also fits size_t/uint64_t) — anything else is a spec error, not UB.
+  std::uint64_t checked_integer(const JsonValue& v,
+                                const std::string& key) const {
+    constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+    if (v.number < 0.0 || v.number >= kMaxExact ||
+        v.number != std::floor(v.number)) {
+      fail(v, "\"" + key + "\" must be a non-negative integer below 2^53");
+    }
+    return static_cast<std::uint64_t>(v.number);
+  }
+
+  std::size_t count(const JsonValue& obj, const std::string& key,
+                    std::size_t fallback) const {
+    const JsonValue* v = optional(obj, key, JsonValue::Kind::kNumber);
+    if (v == nullptr) return fallback;
+    return static_cast<std::size_t>(checked_integer(*v, key));
+  }
+
+  std::uint64_t seed(const JsonValue& obj, const std::string& key,
+                     std::uint64_t fallback) const {
+    const JsonValue* v = optional(obj, key, JsonValue::Kind::kNumber);
+    if (v == nullptr) return fallback;
+    return checked_integer(*v, key);
+  }
+
+  /// Distinguishes "absent" from an explicit value (0 included) — the
+  /// seed/buffer overrides where 0 is meaningful.
+  std::optional<std::uint64_t> optional_integer(const JsonValue& obj,
+                                                const std::string& key) const {
+    const JsonValue* v = optional(obj, key, JsonValue::Kind::kNumber);
+    if (v == nullptr) return std::nullopt;
+    return checked_integer(*v, key);
+  }
+
+  bool boolean(const JsonValue& obj, const std::string& key,
+               bool fallback) const {
+    const JsonValue* v = optional(obj, key, JsonValue::Kind::kBool);
+    return v == nullptr ? fallback : v->boolean;
+  }
+
+ private:
+  const JsonValue& typed(const JsonValue& v, const std::string& key,
+                         JsonValue::Kind kind) const {
+    if (v.kind != kind) {
+      fail(v, "\"" + key + "\" must be a " + kind_name(kind) + ", got " +
+                  kind_name(v.kind));
+    }
+    return v;
+  }
+
+  const JsonParser& parser_;
+};
+
+std::string path_stem(const std::string& path) {
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return name;
+}
+
+std::string join_path(const std::string& base_dir, const std::string& path) {
+  if (base_dir.empty() || path.empty() || path.front() == '/') return path;
+  return base_dir + "/" + path;
+}
+
+/// One circuits[] entry -> (catalog name, spec). `referenced` marks a bare
+/// {"paper": ...} entry that just names a pre-registered benchmark.
+struct CircuitEntry {
+  std::string name;
+  scenario::CircuitSpec spec;
+  bool referenced = false;
+};
+
+CircuitEntry read_circuit(const SchemaReader& r, const JsonValue& entry,
+                          const std::string& base_dir) {
+  if (entry.kind != JsonValue::Kind::kObject) {
+    r.fail(entry, "circuits[] entries must be objects");
+  }
+  const JsonValue* paper = entry.find("paper");
+  const JsonValue* bench = entry.find("bench");
+  const JsonValue* generator = entry.find("generator");
+  const int kinds = (paper != nullptr) + (bench != nullptr) +
+                    (generator != nullptr);
+  if (kinds != 1) {
+    r.fail(entry,
+           "each circuits[] entry needs exactly one of \"paper\", "
+           "\"bench\", \"generator\"");
+  }
+
+  CircuitEntry out;
+  const JsonValue* name = r.optional(entry, "name", JsonValue::Kind::kString);
+  if (name != nullptr && name->string.empty()) {
+    r.fail(*name, "\"name\" must be non-empty");
+  }
+
+  if (paper != nullptr) {
+    r.reject_unknown_keys(entry, {"paper", "name", "seed", "scale"},
+                          "a paper circuit entry");
+    if (paper->kind != JsonValue::Kind::kString || paper->string.empty()) {
+      r.fail(*paper, "\"paper\" must be a non-empty benchmark name");
+    }
+    const std::optional<std::uint64_t> seed = r.optional_integer(entry, "seed");
+    const double scale = r.number(entry, "scale", 1.0);
+    if (!(scale > 0.0)) r.fail(entry, "\"scale\" must be > 0");
+    try {
+      if (scale != 1.0) {
+        // Validate benchmark name + scale bounds at parse time (exit 2
+        // with a line, never a resolve-time surprise); the default name
+        // matches the scaled GeneratorSpec's ("s9234@x2").
+        const netlist::GeneratorSpec scaled =
+            scenario::scaled_paper_spec(paper->string, scale);
+        out.name = name != nullptr ? name->string : scaled.name;
+        out.spec = scenario::ScaledCircuit{paper->string, scale, seed};
+      } else {
+        (void)netlist::paper_benchmark_spec(paper->string);
+        out.name = name != nullptr ? name->string : paper->string;
+        out.spec = scenario::PaperCircuit{paper->string, seed};
+        out.referenced = name == nullptr && !seed.has_value();
+      }
+    } catch (const ScenarioError&) {
+      throw;
+    } catch (const std::exception& e) {
+      r.fail(*paper, e.what());
+    }
+    return out;
+  }
+
+  if (bench != nullptr) {
+    r.reject_unknown_keys(entry, {"bench", "name", "buffers", "policy"},
+                          "a .bench circuit entry");
+    if (bench->kind != JsonValue::Kind::kString || bench->string.empty()) {
+      r.fail(*bench, "\"bench\" must be a non-empty file path");
+    }
+    scenario::BenchCircuit spec;
+    spec.path = join_path(base_dir, bench->string);
+    if (const auto buffers = r.optional_integer(entry, "buffers")) {
+      spec.num_buffers = static_cast<std::size_t>(*buffers);
+    }
+    if (const JsonValue* policy =
+            r.optional(entry, "policy", JsonValue::Kind::kString)) {
+      try {
+        spec.policy = scenario::buffer_policy_from(policy->string);
+      } catch (const std::invalid_argument& e) {
+        r.fail(*policy, e.what());
+      }
+    }
+    out.name = name != nullptr ? name->string : path_stem(bench->string);
+    out.spec = std::move(spec);
+    return out;
+  }
+
+  r.reject_unknown_keys(entry, {"generator", "name"},
+                        "a generator circuit entry");
+  if (generator->kind != JsonValue::Kind::kObject) {
+    r.fail(*generator, "\"generator\" must be an object");
+  }
+  r.reject_unknown_keys(*generator,
+                        {"name", "flip_flops", "gates", "buffers",
+                         "critical_paths", "clusters", "seed"},
+                        "a generator spec");
+  netlist::GeneratorSpec spec;  // shape knobs keep their defaults
+  if (const JsonValue* gname =
+          r.optional(*generator, "name", JsonValue::Kind::kString)) {
+    spec.name = gname->string;
+  }
+  spec.num_flip_flops = r.count(*generator, "flip_flops", spec.num_flip_flops);
+  spec.num_gates = r.count(*generator, "gates", spec.num_gates);
+  spec.num_buffers = r.count(*generator, "buffers", spec.num_buffers);
+  spec.num_critical_paths =
+      r.count(*generator, "critical_paths", spec.num_critical_paths);
+  spec.num_clusters = r.count(*generator, "clusters", spec.num_clusters);
+  spec.seed = r.seed(*generator, "seed", spec.seed);
+  out.name = name != nullptr ? name->string : spec.name;
+  out.spec = std::move(spec);
+  return out;
+}
+
+template <class Valid>
+std::vector<double> read_grid(const SchemaReader& r, const JsonValue& root,
+                              const char* key, Valid&& valid,
+                              const char* constraint) {
+  std::vector<double> out;
+  const JsonValue* arr = r.optional(root, key, JsonValue::Kind::kArray);
+  if (arr == nullptr) return out;
+  for (const JsonValue& v : arr->array) {
+    if (v.kind != JsonValue::Kind::kNumber || !valid(v.number)) {
+      r.fail(v, std::string("\"") + key + "\" entries must be " + constraint);
+    }
+    out.push_back(v.number);
+  }
+  return out;
+}
+
+}  // namespace
+
+Scenario parse_scenario(const std::string& text, const std::string& source,
+                        const std::string& base_dir) {
+  JsonParser parser(text, source);
+  const JsonValue root = parser.parse();
+  const SchemaReader r(parser);
+
+  if (root.kind != JsonValue::Kind::kObject) {
+    r.fail(root, "the spec must be a JSON object");
+  }
+  r.reject_unknown_keys(
+      root,
+      {"schema", "name", "chips", "seed", "threads", "inflation",
+       "calibration_chips", "quantiles", "periods", "flow", "circuits"},
+      "the scenario spec");
+
+  const JsonValue& schema =
+      r.require(root, "schema", JsonValue::Kind::kString);
+  if (schema.string != kSchemaId) {
+    r.fail(schema, "schema \"" + schema.string + "\" is not \"" + kSchemaId +
+                       "\"");
+  }
+
+  Scenario scenario;
+  scenario.name = path_stem(source);
+  if (const JsonValue* name =
+          r.optional(root, "name", JsonValue::Kind::kString)) {
+    scenario.name = name->string;
+  }
+
+  core::CampaignOptions& options = scenario.options;
+  options.flow.chips = r.count(root, "chips", options.flow.chips);
+  options.flow.seed = r.seed(root, "seed", options.flow.seed);
+  options.threads = r.count(root, "threads", options.threads);
+  if (const JsonValue* inflation =
+          r.optional(root, "inflation", JsonValue::Kind::kNumber)) {
+    if (!(inflation->number > 0.0)) {
+      r.fail(*inflation, "\"inflation\" must be > 0");
+    }
+    options.random_inflation = inflation->number;
+  }
+  options.calibration_chips =
+      r.count(root, "calibration_chips", options.calibration_chips);
+  if (const JsonValue* flow =
+          r.optional(root, "flow", JsonValue::Kind::kObject)) {
+    r.reject_unknown_keys(*flow, {"prediction", "alignment", "exclusions"},
+                          "\"flow\"");
+    options.flow.use_prediction =
+        r.boolean(*flow, "prediction", options.flow.use_prediction);
+    options.flow.test.align_with_buffers =
+        r.boolean(*flow, "alignment", options.flow.test.align_with_buffers);
+    options.use_exclusions =
+        r.boolean(*flow, "exclusions", options.use_exclusions);
+  }
+
+  const std::vector<double> quantiles = read_grid(
+      r, root, "quantiles", [](double q) { return q >= 0.0 && q < 1.0; },
+      "quantiles in [0, 1)");
+  const std::vector<double> periods = read_grid(
+      r, root, "periods", [](double td) { return td > 0.0; },
+      "positive periods (ps)");
+
+  const JsonValue& circuits =
+      r.require(root, "circuits", JsonValue::Kind::kArray);
+  if (circuits.array.empty()) {
+    r.fail(circuits, "\"circuits\" must name at least one circuit");
+  }
+
+  scenario.catalog = scenario::CircuitCatalog::make_paper();
+  std::vector<std::string> job_circuits;
+  for (const JsonValue& entry : circuits.array) {
+    CircuitEntry circuit = read_circuit(r, entry, base_dir);
+    // Every catalog error must surface as a line-carrying ScenarioError —
+    // e.g. an empty generator "name" or a path whose stem is empty.
+    if (circuit.name.empty()) {
+      r.fail(entry,
+             "circuit entry yields an empty name; set a non-empty \"name\"");
+    }
+    if (!circuit.referenced) {
+      if (scenario.catalog->contains(circuit.name)) {
+        r.fail(entry, "circuit name \"" + circuit.name +
+                          "\" is already registered (paper benchmarks are "
+                          "pre-registered; pick a distinct \"name\" for "
+                          "overrides)");
+      }
+      scenario.catalog->add(circuit.name, std::move(circuit.spec));
+    } else if (!scenario.catalog->contains(circuit.name)) {
+      r.fail(entry, "unknown paper benchmark \"" + circuit.name + "\"");
+    }
+    for (const std::string& seen : job_circuits) {
+      if (seen == circuit.name) {
+        r.fail(entry,
+               "circuit \"" + circuit.name + "\" is listed twice");
+      }
+    }
+    job_circuits.push_back(std::move(circuit.name));
+  }
+
+  // Circuit-major cross of circuits x (periods + quantiles): the runner
+  // groups same-circuit jobs into one preparation.
+  for (const std::string& circuit : job_circuits) {
+    if (periods.empty() && quantiles.empty()) {
+      scenario.jobs.push_back(core::CampaignJob{circuit, 0.0, -1.0});
+      continue;
+    }
+    for (double td : periods) {
+      scenario.jobs.push_back(core::CampaignJob{circuit, td, -1.0});
+    }
+    for (double q : quantiles) {
+      scenario.jobs.push_back(core::CampaignJob{circuit, 0.0, q});
+    }
+  }
+
+  options.catalog = scenario.catalog;
+  return scenario;
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ScenarioError("cannot open scenario spec: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base_dir =
+      slash == std::string::npos ? std::string() : path.substr(0, slash);
+  return parse_scenario(buffer.str(), path, base_dir);
+}
+
+}  // namespace effitest::io

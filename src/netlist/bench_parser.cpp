@@ -10,11 +10,20 @@ namespace effitest::netlist {
 
 namespace {
 
+/// Strippable characters: whitespace — explicitly including the '\r' of
+/// DOS-formatted (CRLF) files, which real ISCAS89 distributions use — plus
+/// the DOS end-of-file marker 0x1A some of them end with. Locale-proof:
+/// never defers to std::isspace's runtime locale for the CRLF case.
+bool is_strippable(char c) {
+  return c == '\r' || c == '\x1a' ||
+         std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
 std::string strip(std::string_view s) {
   std::size_t b = 0;
   std::size_t e = s.size();
-  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
-  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  while (b < e && is_strippable(s[b])) ++b;
+  while (e > b && is_strippable(s[e - 1])) --e;
   return std::string(s.substr(b, e - b));
 }
 
@@ -68,6 +77,9 @@ Netlist parse_bench(std::istream& in, std::string name) {
 
   while (std::getline(in, line)) {
     ++line_no;
+    if (line_no == 1 && line.rfind("\xef\xbb\xbf", 0) == 0) {
+      line.erase(0, 3);  // UTF-8 BOM would otherwise glue onto a token
+    }
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     const std::string text = strip(line);

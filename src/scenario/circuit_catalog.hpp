@@ -1,0 +1,195 @@
+#pragma once
+// Circuit provisioning: the one place every consumer gets a circuit from.
+//
+// The paper evaluates EffiTest across eight ISCAS89/industrial circuits
+// (Table 1); historically every entry point of this repository was fused to
+// the synthetic generator's hard-coded paper names, the `.bench` parser was
+// reachable only from two CLI commands, and the buffer-insertion stand-in
+// was duplicated between the CLI and an example. This layer makes circuit
+// identity an API instead of a string switch:
+//
+//  * `CircuitSpec` — a sum type naming *how* to build a circuit: a paper
+//    benchmark (with optional seed override), an inline
+//    `netlist::GeneratorSpec`, a `.bench` file plus a buffer-insertion
+//    policy, or a scaled synthetic family member for stress workloads.
+//  * `PreparedCircuit` — the fully-provisioned bundle the downstream
+//    pipeline consumes: netlist, cell library, `timing::CircuitModel`,
+//    `core::Problem` and the logic-masking exclusions, with stable
+//    addresses (the model and problem point into the bundle, so the type
+//    is neither copyable nor movable — it lives behind a shared_ptr).
+//  * `CircuitCatalog` — a thread-safe name -> spec registry that resolves
+//    names into memoized `shared_ptr<const PreparedCircuit>` bundles.
+//    Resolution is a pure function of (spec, random_inflation): two
+//    resolves of the same key return the *same* shared_ptr, and concurrent
+//    resolves of the same key build exactly once (the loser waits).
+//    Campaigns, the TunerService and all CLI subcommands route through
+//    this one construction path; the paper path performs exactly the
+//    historical operations, so golden metrics are unchanged (DESIGN.md
+//    §11).
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "netlist/cell.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/netlist.hpp"
+#include "timing/model.hpp"
+
+namespace effitest::scenario {
+
+/// How tuning buffers are chosen for circuits that do not carry their own
+/// buffer set (.bench imports; generated circuits embed theirs). Both are
+/// stand-ins for the paper's refs. [3, 12].
+enum class BufferPolicy : std::uint8_t {
+  /// Rank flip-flops by how many near-critical (>= 85% of the critical
+  /// delay) paths converge at or leave them — the hubs of the paper's
+  /// Fig. 5 — breaking ties by the worst incident delay.
+  kHubCount,
+  /// Rank flip-flops by the single worst incident path delay.
+  kWorstDelay,
+};
+
+/// Parse "hub-count" / "worst-delay" (throws std::invalid_argument listing
+/// the valid names) and the inverse.
+[[nodiscard]] BufferPolicy buffer_policy_from(const std::string& name);
+[[nodiscard]] const char* to_string(BufferPolicy policy);
+
+/// Pick `count` flip-flops to carry tuning buffers under `policy`.
+/// Deterministic; result is sorted by cell id.
+[[nodiscard]] std::vector<int> pick_buffers(const netlist::Netlist& netlist,
+                                            const netlist::CellLibrary& library,
+                                            std::size_t count,
+                                            BufferPolicy policy =
+                                                BufferPolicy::kHubCount);
+
+/// One of the eight Table-1 benchmarks, optionally reseeded.
+struct PaperCircuit {
+  std::string benchmark;  ///< s9234, s13207, ... (netlist::paper_benchmark_spec)
+  /// nullopt keeps the spec's historical seed (an explicit 0 is honored).
+  std::optional<std::uint64_t> seed;
+};
+
+/// A Table-1 benchmark scaled up (stress workloads) or down (smoke tests):
+/// ns/ng/nb/np are all multiplied by `scale`.
+struct ScaledCircuit {
+  std::string base;    ///< paper benchmark to scale
+  double scale = 1.0;  ///< > 0; multiplies ns, ng, nb and np
+  /// nullopt keeps the base spec's seed (an explicit 0 is honored).
+  std::optional<std::uint64_t> seed;
+};
+
+/// A circuit parsed from an ISCAS89 .bench file (placement sidecar honored),
+/// with tuning buffers inserted by `policy`.
+struct BenchCircuit {
+  std::string path;
+  /// nullopt = max(1, flip_flops / 100); an explicit 0 builds the
+  /// untunable baseline circuit (no monitored pairs).
+  std::optional<std::size_t> num_buffers;
+  BufferPolicy policy = BufferPolicy::kHubCount;
+};
+
+/// How to build a circuit. The GeneratorSpec alternative covers fully
+/// inline synthetic circuits (scenario files, tests).
+using CircuitSpec =
+    std::variant<PaperCircuit, ScaledCircuit, netlist::GeneratorSpec,
+                 BenchCircuit>;
+
+/// The GeneratorSpec a ScaledCircuit resolves to (also useful directly:
+/// bench harnesses sweeping circuit size). Throws std::invalid_argument on
+/// scale <= 0 and whatever paper_benchmark_spec throws on unknown names.
+[[nodiscard]] netlist::GeneratorSpec scaled_paper_spec(
+    const std::string& base, double scale,
+    std::optional<std::uint64_t> seed = std::nullopt);
+
+/// Everything the downstream pipeline needs, provisioned once. `model` and
+/// `problem` reference the sibling members, so the bundle is pinned in
+/// place (non-copyable, non-movable) and shared behind
+/// shared_ptr<const PreparedCircuit>.
+struct PreparedCircuit {
+  PreparedCircuit(std::string name_in, netlist::Netlist netlist_in,
+                  netlist::CellLibrary library_in,
+                  std::vector<int> buffered_ffs_in,
+                  const timing::ModelOptions& model_options,
+                  std::vector<std::pair<int, int>> critical_edges_in = {},
+                  std::vector<std::pair<std::size_t, std::size_t>>
+                      exclusive_edge_pairs_in = {});
+  PreparedCircuit(const PreparedCircuit&) = delete;
+  PreparedCircuit& operator=(const PreparedCircuit&) = delete;
+
+  const std::string name;  ///< catalog name (not necessarily netlist name)
+  const netlist::Netlist netlist;
+  const netlist::CellLibrary library;
+  const std::vector<int> buffered_ffs;
+  const timing::CircuitModel model;
+  const core::Problem problem;
+  /// Logic-masking mutual exclusions mapped onto monitored-pair indices
+  /// (BatchingOptions::exclusions); empty for .bench imports, which carry
+  /// no masking metadata.
+  const std::vector<std::pair<std::size_t, std::size_t>> exclusions;
+};
+
+/// Thread-safe name -> CircuitSpec registry with memoized resolution.
+class CircuitCatalog {
+ public:
+  CircuitCatalog() = default;
+  // The registry carries a mutex and hands out aliases into itself: pin it.
+  CircuitCatalog(const CircuitCatalog&) = delete;
+  CircuitCatalog& operator=(const CircuitCatalog&) = delete;
+
+  /// Fresh mutable catalog with the eight Table-1 paper benchmarks
+  /// registered under their paper names (extend with add()).
+  [[nodiscard]] static std::shared_ptr<CircuitCatalog> make_paper();
+
+  /// Process-wide shared paper catalog: consumers that do not bring their
+  /// own catalog (CampaignOptions::catalog == nullptr, bench harnesses)
+  /// share this instance — and therefore one construction cache.
+  [[nodiscard]] static std::shared_ptr<const CircuitCatalog> shared_paper();
+
+  /// Register a circuit. Throws std::invalid_argument on an empty or
+  /// already-registered name.
+  void add(std::string name, CircuitSpec spec);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Registered names, in registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// The spec registered under `name`; throws std::invalid_argument when
+  /// unknown (message lists the registered names).
+  [[nodiscard]] CircuitSpec spec(const std::string& name) const;
+  /// One-line human description of the registered spec ("paper benchmark",
+  /// ".bench import ...", ...). Computed from the spec, never resolves.
+  [[nodiscard]] std::string describe(const std::string& name) const;
+
+  /// Resolve a registered name into its provisioned bundle. Memoized on
+  /// (name, random_inflation): repeated resolves return the same
+  /// shared_ptr; concurrent resolves of one key construct exactly once
+  /// while distinct keys construct in parallel. A construction failure
+  /// (e.g. missing .bench file) propagates to every waiting caller and is
+  /// evicted from the cache so a later resolve can retry. Throws
+  /// std::invalid_argument for unregistered names.
+  [[nodiscard]] std::shared_ptr<const PreparedCircuit> resolve(
+      const std::string& name, double random_inflation = 1.0) const;
+
+ private:
+  using Prepared = std::shared_ptr<const PreparedCircuit>;
+
+  [[nodiscard]] Prepared build(const std::string& name,
+                               const CircuitSpec& spec,
+                               double random_inflation) const;
+  [[nodiscard]] std::string unknown_message(const std::string& name) const;
+
+  mutable std::mutex mutex_;
+  std::vector<std::string> order_;            ///< registration order
+  std::map<std::string, CircuitSpec> specs_;
+  mutable std::map<std::string, std::shared_future<Prepared>> cache_;
+};
+
+}  // namespace effitest::scenario

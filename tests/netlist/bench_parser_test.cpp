@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "netlist/bench_writer.hpp"
+
 namespace effitest::netlist {
 namespace {
 
@@ -118,6 +122,61 @@ TEST(BenchParser, MissingFileThrows) {
 TEST(BenchParser, ValidatedResult) {
   const Netlist nl = parse_bench_string(kSmallBench);
   EXPECT_NO_THROW(nl.validate());
+}
+
+// Real ISCAS89 distributions are DOS-formatted: CRLF line endings,
+// trailing whitespace, sometimes a ^Z end-of-file marker or a UTF-8 BOM
+// from a later re-encode. None of that may leak into signal names.
+std::string to_crlf(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '\n') out += '\r';
+    out += c;
+  }
+  return out;
+}
+
+TEST(BenchParser, CrlfLinesParseWithCleanSignalNames) {
+  const Netlist unix_nl = parse_bench_string(kSmallBench, "toy");
+  const Netlist dos_nl = parse_bench_string(to_crlf(kSmallBench), "toy");
+  ASSERT_EQ(dos_nl.num_cells(), unix_nl.num_cells());
+  for (std::size_t i = 0; i < dos_nl.num_cells(); ++i) {
+    const std::string& name = dos_nl.cell(static_cast<int>(i)).name;
+    EXPECT_EQ(name, unix_nl.cell(static_cast<int>(i)).name);
+    EXPECT_EQ(name.find('\r'), std::string::npos) << name;
+  }
+  EXPECT_EQ(dos_nl.num_flip_flops(), unix_nl.num_flip_flops());
+  EXPECT_TRUE(dos_nl.cell(dos_nl.find("G17")).is_primary_output);
+}
+
+TEST(BenchParser, TrailingWhitespaceAndPaddedArgsStripped) {
+  const Netlist nl = parse_bench_string(
+      "INPUT(a)  \t\r\nOUTPUT(b)\t \r\nb = NOT( a )\t\r\n");
+  EXPECT_EQ(nl.num_cells(), 2u);
+  EXPECT_GE(nl.find("a"), 0);
+  EXPECT_GE(nl.find("b"), 0);
+}
+
+TEST(BenchParser, DosEofMarkerIgnored) {
+  const Netlist nl = parse_bench_string(
+      "INPUT(a)\r\nOUTPUT(b)\r\nb = NOT(a)\r\n\x1a", "doseof");
+  EXPECT_EQ(nl.num_cells(), 2u);
+}
+
+TEST(BenchParser, Utf8BomStripped) {
+  const Netlist nl = parse_bench_string(
+      "\xef\xbb\xbfINPUT(a)\nOUTPUT(b)\nb = NOT(a)\n", "bom");
+  EXPECT_EQ(nl.num_cells(), 2u);
+  EXPECT_GE(nl.find("a"), 0);
+}
+
+TEST(BenchParser, CrlfPlacementSidecarParses) {
+  const Netlist nl = parse_bench_with_placement(
+      "INPUT(a)\r\nOUTPUT(b)\r\nb = NOT(a)\r\n"
+      "#!place a 0.25 0.75\r\n#!place b 0.5 0.5\r\n",
+      "dosplace");
+  EXPECT_DOUBLE_EQ(nl.cell(nl.find("a")).position.x, 0.25);
+  EXPECT_DOUBLE_EQ(nl.cell(nl.find("a")).position.y, 0.75);
 }
 
 // Robustness sweep: mangled inputs must raise a structured error (never

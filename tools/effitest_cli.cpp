@@ -10,15 +10,22 @@
 //             Print structural and timing statistics.
 //   ssta      --bench=... | --circuit=...
 //             Analytic (Clark) vs Monte-Carlo untuned-period distribution.
-//   run       --bench=... [--buffers=N] | --circuit=<name>
+//   run       --bench=... [--buffers=N] [--policy=p] | --circuit=<name>
 //             [--chips=N] [--td=ps] [--quantile=q] [--no-prediction]
 //             [--no-alignment] [--seed=S] [--threads=N] [--json=file]
 //             Run the full EffiTest flow and print the metrics.
-//   campaign  [--circuits=a,b,...] [--quantiles=q1,q2,...] [--chips=N]
-//             [--seed=S] [--threads=N] [--inflation=k] [--json=file]
+//   campaign  --spec=file.json | [--circuits=a,b,...]
+//             [--quantiles=q1,q2,...] [--chips=N] [--seed=S] [--threads=N]
+//             [--inflation=k] [--json=file]
 //             Fan whole-circuit / T_d-sweep jobs out across all cores with
 //             FlowArtifacts reuse (Table 1/2-style multi-circuit runs from
-//             one invocation).
+//             one invocation). With --spec, circuits/quantiles/periods and
+//             flow knobs come from a declarative scenario JSON
+//             (io/scenario_json.hpp) whose catalog can mix paper,
+//             .bench-imported, scaled and inline-generated circuits;
+//             explicit CLI options still override the spec's knobs.
+//   circuits  [--spec=file.json]
+//             List the circuit catalog (paper registry, or the spec's).
 //   tune      --bench=... [--buffers=N] | --circuit=<name>
 //             [--chips=N] [--seed=S] [--td=ps] [--quantile=q] [--threads=N]
 //             [--simulate] [--log=file] [--responses=file]
@@ -53,10 +60,11 @@
 #include "core/table.hpp"
 #include "core/tuner_service.hpp"
 #include "io/bench_json.hpp"
+#include "io/scenario_json.hpp"
 #include "io/tune_protocol.hpp"
-#include "netlist/bench_parser.hpp"
 #include "netlist/bench_writer.hpp"
 #include "netlist/generator.hpp"
+#include "scenario/circuit_catalog.hpp"
 #include "timing/graph.hpp"
 #include "timing/ssta.hpp"
 
@@ -78,6 +86,13 @@ struct Cli {
   [[nodiscard]] bool has_flag(const std::string& f) const {
     return std::find(flags.begin(), flags.end(), f) != flags.end();
   }
+};
+
+/// Usage errors discovered after option whitelisting (conflicting or
+/// inapplicable combinations) — mapped to exit code 2 like any other
+/// usage mistake.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
 };
 
 Cli parse_cli(int argc, char** argv) {
@@ -116,32 +131,39 @@ const std::map<std::string, CommandSpec>& command_specs() {
         {},
         "generate --circuit=<name> [--out=file.bench] [--seed=S]"}},
       {"info",
-       {{"bench", "circuit", "buffers", "seed"},
+       {{"bench", "circuit", "buffers", "policy", "seed"},
         {},
-        "info     --bench=file | --circuit=<name> [--buffers=N]"}},
+        "info     --bench=file | --circuit=<name> [--buffers=N] "
+        "[--policy=p]"}},
       {"ssta",
-       {{"bench", "circuit", "buffers", "seed", "chips"},
+       {{"bench", "circuit", "buffers", "policy", "seed", "chips"},
         {},
         "ssta     --bench=file | --circuit=<name> [--chips=N]"}},
       {"run",
-       {{"bench", "buffers", "circuit", "chips", "td", "quantile", "seed",
-         "threads", "json"},
+       {{"bench", "buffers", "policy", "circuit", "chips", "td", "quantile",
+         "seed", "threads", "json"},
         {"no-prediction", "no-alignment"},
-        "run      --bench=file [--buffers=N] | --circuit=<name>\n"
+        "run      --bench=file [--buffers=N] [--policy=p] | "
+        "--circuit=<name>\n"
         "         [--chips=N] [--td=ps] [--quantile=q] [--seed=S]\n"
         "         [--no-prediction] [--no-alignment] [--threads=N]\n"
         "         [--json=file]"}},
       {"campaign",
-       {{"circuits", "quantiles", "chips", "seed", "threads", "inflation",
-         "json"},
+       {{"spec", "circuits", "quantiles", "chips", "seed", "threads",
+         "inflation", "json"},
         {},
-        "campaign [--circuits=a,b,...] [--quantiles=q1,q2,...] [--chips=N]\n"
-        "         [--seed=S] [--threads=N] [--inflation=k] [--json=file]"}},
+        "campaign --spec=file.json | [--circuits=a,b,...] "
+        "[--quantiles=q1,q2,...]\n"
+        "         [--chips=N] [--seed=S] [--threads=N] [--inflation=k]\n"
+        "         [--json=file]"}},
+      {"circuits",
+       {{"spec"}, {}, "circuits [--spec=file.json]"}},
       {"tune",
-       {{"bench", "buffers", "circuit", "chips", "td", "quantile", "seed",
-         "threads", "log", "responses"},
+       {{"bench", "buffers", "policy", "circuit", "chips", "td", "quantile",
+         "seed", "threads", "log", "responses"},
         {"simulate"},
-        "tune     --bench=file [--buffers=N] | --circuit=<name>\n"
+        "tune     --bench=file [--buffers=N] [--policy=p] | "
+        "--circuit=<name>\n"
         "         [--chips=N] [--td=ps] [--quantile=q] [--seed=S]\n"
         "         [--threads=N] [--simulate] [--log=file] "
         "[--responses=file]"}},
@@ -152,12 +174,13 @@ const std::map<std::string, CommandSpec>& command_specs() {
 void usage(std::ostream& os) {
   os << "usage: effitest_cli <command> [options]\ncommands:\n";
   // Stable presentation order (not the map's alphabetical one).
-  for (const char* name :
-       {"help", "generate", "info", "ssta", "run", "campaign", "tune"}) {
+  for (const char* name : {"help", "generate", "info", "ssta", "run",
+                           "campaign", "circuits", "tune"}) {
     os << "  " << command_specs().at(name).usage << '\n';
   }
   os << "paper circuits: s9234 s13207 s15850 s38584 mem_ctrl usb_funct "
-        "ac97_ctrl pci_bridge32\n";
+        "ac97_ctrl pci_bridge32\n"
+        "buffer policies (--policy, .bench imports): hub-count worst-delay\n";
 }
 
 std::string join_sorted(const std::set<std::string>& names,
@@ -229,61 +252,41 @@ int cmd_help(const Cli& cli) {
   return 0;
 }
 
-/// Buffer-insertion stand-in for .bench circuits (generated circuits carry
-/// their own buffer set): rank flip-flops by how many *near-critical* paths
-/// converge at or leave them — the hubs of the paper's Fig. 5 — breaking
-/// ties by the worst incident delay.
-std::vector<int> pick_buffers(const netlist::Netlist& nl,
-                              const netlist::CellLibrary& lib,
-                              std::size_t count) {
-  const timing::TimingGraph graph(nl, lib);
-  const auto pairs = graph.all_pair_delays();
-  double crit = 0.0;
-  for (const auto& pd : pairs) crit = std::max(crit, pd.max_delay);
-  const double threshold = 0.85 * crit;
-  std::map<int, std::pair<int, double>> score;  // ff -> (count, worst)
-  for (const auto& pd : pairs) {
-    if (pd.max_delay < threshold) continue;
-    for (int ff : {pd.src_ff, pd.dst_ff}) {
-      auto& [cnt, worst] = score[ff];
-      ++cnt;
-      worst = std::max(worst, pd.max_delay);
+/// CLI flags -> CircuitSpec: the one-shot catalog entry run/info/ssta/tune
+/// resolve through. The buffer-insertion stand-in and model assembly live
+/// in scenario::CircuitCatalog — the same construction path campaigns and
+/// scenario specs use.
+std::shared_ptr<const scenario::PreparedCircuit> provision_circuit(
+    const Cli& cli) {
+  scenario::CircuitCatalog catalog;
+  std::string name;
+  if (const auto circuit = cli.get("circuit")) {
+    // No-silent-surprises: these knobs only shape .bench imports
+    // (generated circuits carry their own buffer set).
+    if (cli.get("buffers") || cli.get("policy")) {
+      throw UsageError(
+          "--buffers/--policy apply to --bench imports only; --circuit "
+          "circuits carry their own buffer set");
     }
-  }
-  std::vector<std::pair<std::pair<int, double>, int>> ranked;
-  for (const auto& [ff, s] : score) ranked.emplace_back(s, ff);
-  std::sort(ranked.rbegin(), ranked.rend());
-  std::vector<int> out;
-  for (std::size_t i = 0; i < ranked.size() && out.size() < count; ++i) {
-    out.push_back(ranked[i].second);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-struct LoadedCircuit {
-  netlist::Netlist netlist;
-  std::vector<int> buffered_ffs;
-};
-
-LoadedCircuit load_circuit(const Cli& cli) {
-  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
-  if (const auto name = cli.get("circuit")) {
-    netlist::GeneratorSpec spec = netlist::paper_benchmark_spec(*name);
+    scenario::PaperCircuit spec{*circuit, std::nullopt};
     if (const auto seed = cli.get("seed")) spec.seed = std::stoull(*seed);
-    netlist::GeneratedCircuit gen = netlist::generate_circuit(spec);
-    return {std::move(gen.netlist), std::move(gen.buffered_ffs)};
+    name = *circuit;
+    catalog.add(name, spec);
+  } else if (const auto path = cli.get("bench")) {
+    scenario::BenchCircuit spec;
+    spec.path = *path;
+    if (const auto buffers = cli.get("buffers")) {
+      spec.num_buffers = std::stoul(*buffers);
+    }
+    if (const auto policy = cli.get("policy")) {
+      spec.policy = scenario::buffer_policy_from(*policy);
+    }
+    name = "bench";
+    catalog.add(name, spec);
+  } else {
+    throw std::runtime_error("need --circuit=<name> or --bench=<file>");
   }
-  if (const auto path = cli.get("bench")) {
-    netlist::Netlist nl = netlist::parse_bench_file_with_placement(*path);
-    const std::size_t nb =
-        cli.get("buffers")
-            ? std::stoul(*cli.get("buffers"))
-            : std::max<std::size_t>(1, nl.num_flip_flops() / 100);
-    std::vector<int> buffers = pick_buffers(nl, lib, nb);
-    return {std::move(nl), std::move(buffers)};
-  }
-  throw std::runtime_error("need --circuit=<name> or --bench=<file>");
+  return catalog.resolve(name);
 }
 
 int cmd_generate(const Cli& cli) {
@@ -310,34 +313,33 @@ int cmd_generate(const Cli& cli) {
 }
 
 int cmd_info(const Cli& cli) {
-  const LoadedCircuit lc = load_circuit(cli);
-  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
-  const timing::TimingGraph graph(lc.netlist, lib);
-  std::cout << "circuit:            " << lc.netlist.name() << '\n'
-            << "primary inputs:     " << lc.netlist.primary_inputs().size()
+  const auto circuit = provision_circuit(cli);
+  const timing::TimingGraph graph(circuit->netlist, circuit->library);
+  std::cout << "circuit:            " << circuit->netlist.name() << '\n'
+            << "primary inputs:     "
+            << circuit->netlist.primary_inputs().size() << '\n'
+            << "flip-flops:         " << circuit->netlist.num_flip_flops()
             << '\n'
-            << "flip-flops:         " << lc.netlist.num_flip_flops() << '\n'
-            << "combinational:      " << lc.netlist.num_combinational_gates()
-            << '\n'
+            << "combinational:      "
+            << circuit->netlist.num_combinational_gates() << '\n'
             << "FF-pair edges:      " << graph.all_pair_delays().size() << '\n'
             << "critical delay:     " << graph.nominal_critical_delay()
             << " ps\n"
-            << "tuning buffers:     " << lc.buffered_ffs.size() << '\n';
-  const timing::CircuitModel model(lc.netlist, lib, lc.buffered_ffs);
-  std::cout << "monitored paths:    " << model.num_pairs() << '\n'
-            << "discarded (static): " << model.num_discarded_pairs() << '\n';
+            << "tuning buffers:     " << circuit->buffered_ffs.size() << '\n'
+            << "monitored paths:    " << circuit->model.num_pairs() << '\n'
+            << "discarded (static): " << circuit->model.num_discarded_pairs()
+            << '\n';
   return 0;
 }
 
 int cmd_ssta(const Cli& cli) {
-  const LoadedCircuit lc = load_circuit(cli);
-  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
-  const timing::VariationModel variation(timing::VariationParams{}, lib);
-  const timing::CanonicalDelay analytic =
-      timing::ssta_required_period(lc.netlist, lib, variation);
+  const auto circuit = provision_circuit(cli);
+  const timing::VariationModel variation(timing::VariationParams{},
+                                         circuit->library);
+  const timing::CanonicalDelay analytic = timing::ssta_required_period(
+      circuit->netlist, circuit->library, variation);
 
-  const timing::CircuitModel model(lc.netlist, lib, lc.buffered_ffs);
-  const core::Problem problem(model);
+  const core::Problem& problem = circuit->problem;
   const std::size_t chips =
       cli.get("chips") ? std::stoul(*cli.get("chips")) : 4000;
   stats::Rng rng(11);
@@ -380,17 +382,14 @@ core::FlowOptions flow_options_from(const Cli& cli,
 }
 
 int cmd_run(const Cli& cli) {
-  const LoadedCircuit lc = load_circuit(cli);
-  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
-  const timing::CircuitModel model(lc.netlist, lib, lc.buffered_ffs);
-  if (model.num_pairs() == 0) {
+  const auto circuit = provision_circuit(cli);
+  if (circuit->model.num_pairs() == 0) {
     std::cout << "no monitored paths (no FF pair touches a buffer)\n";
     return 1;
   }
-  const core::Problem problem(model);
-  const core::FlowOptions opts = flow_options_from(cli, problem);
+  const core::FlowOptions opts = flow_options_from(cli, circuit->problem);
 
-  const core::FlowResult r = core::run_flow(problem, opts);
+  const core::FlowResult r = core::run_flow(circuit->problem, opts);
   const core::FlowMetrics& m = r.metrics;
   core::Table t({"metric", "value"});
   t.add_row(
@@ -417,9 +416,9 @@ int cmd_run(const Cli& cli) {
 
   if (const auto json_path = cli.get("json")) {
     io::JsonReporter json("run", opts.threads);
-    const std::string circuit = lc.netlist.name();
+    const std::string label = circuit->netlist.name();
     const auto record = [&](const char* metric, double value) {
-      json.add(circuit, metric, value);
+      json.add(label, metric, value);
     };
     record("td", m.designated_period);
     record("epsilon", m.epsilon_ps);
@@ -456,6 +455,24 @@ std::vector<std::string> split_list(const std::string& csv) {
 
 int cmd_campaign(const Cli& cli) {
   core::CampaignOptions copts;
+  std::vector<core::CampaignJob> jobs;
+
+  if (const auto spec_path = cli.get("spec")) {
+    if (cli.get("circuits") || cli.get("quantiles")) {
+      std::cerr << "error: campaign: --spec carries its own circuits and "
+                   "quantiles; drop --circuits/--quantiles\n";
+      return 2;
+    }
+    io::Scenario scenario = io::load_scenario_file(*spec_path);
+    copts = std::move(scenario.options);
+    jobs = std::move(scenario.jobs);
+    std::cout << "scenario " << scenario.name << ": " << jobs.size()
+              << " job(s) over " << scenario.catalog->names().size()
+              << " registered circuit(s)\n";
+  }
+
+  // Explicit CLI options override the spec's knobs (and fill the defaults
+  // of the spec-less path).
   if (const auto chips = cli.get("chips")) {
     copts.flow.chips = std::stoul(*chips);
   }
@@ -467,24 +484,25 @@ int cmd_campaign(const Cli& cli) {
     copts.random_inflation = std::stod(*inflation);
   }
 
-  std::vector<std::string> circuits;
-  if (const auto names = cli.get("circuits")) {
-    circuits = split_list(*names);
-  } else {
-    for (const netlist::GeneratorSpec& spec :
-         netlist::paper_benchmark_specs()) {
-      circuits.push_back(spec.name);
+  if (!cli.get("spec")) {
+    std::vector<std::string> circuits;
+    if (const auto names = cli.get("circuits")) {
+      circuits = split_list(*names);
+    } else {
+      for (const netlist::GeneratorSpec& spec :
+           netlist::paper_benchmark_specs()) {
+        circuits.push_back(spec.name);
+      }
     }
-  }
-  std::vector<double> quantiles;
-  if (const auto qs = cli.get("quantiles")) {
-    for (const std::string& q : split_list(*qs)) {
-      quantiles.push_back(std::stod(q));
+    std::vector<double> quantiles;
+    if (const auto qs = cli.get("quantiles")) {
+      for (const std::string& q : split_list(*qs)) {
+        quantiles.push_back(std::stod(q));
+      }
     }
+    jobs = core::CampaignRunner::cross(circuits, quantiles);
   }
 
-  const std::vector<core::CampaignJob> jobs =
-      core::CampaignRunner::cross(circuits, quantiles);
   const core::CampaignResult result = core::CampaignRunner(copts).run(jobs);
 
   core::Table t({"circuit", "q", "Td(ps)", "np", "npt", "ta", "ra(%)",
@@ -493,7 +511,9 @@ int cmd_campaign(const Cli& cli) {
     const core::FlowMetrics& m = r.metrics;
     t.add_row({
         r.job.circuit,
-        r.job.quantile >= 0.0 ? core::Table::num(r.job.quantile, 4) : "T1",
+        r.job.quantile >= 0.0
+            ? core::Table::num(r.job.quantile, 4)
+            : (r.job.designated_period > 0.0 ? "Td" : "T1"),
         core::Table::num(m.designated_period, 2),
         core::Table::num(m.np),
         core::Table::num(m.npt),
@@ -518,10 +538,13 @@ int cmd_campaign(const Cli& cli) {
     io::JsonReporter json("campaign", copts.threads);
     for (const core::CampaignJobResult& r : result.jobs) {
       const core::FlowMetrics& m = r.metrics;
-      // One label per (circuit, quantile) so T_d-sweep jobs stay distinct.
+      // One label per (circuit, quantile/period) so sweep jobs stay
+      // distinct.
       std::string label = r.job.circuit;
       if (r.job.quantile >= 0.0) {
         label += "@q" + core::Table::num(r.job.quantile, 4);
+      } else if (r.job.designated_period > 0.0) {
+        label += "@td" + core::Table::num(r.job.designated_period, 2);
       }
       const auto record = [&](const char* metric, double value) {
         json.add(label, metric, value, r.seconds);
@@ -543,6 +566,23 @@ int cmd_campaign(const Cli& cli) {
   return 0;
 }
 
+int cmd_circuits(const Cli& cli) {
+  std::shared_ptr<const scenario::CircuitCatalog> catalog;
+  if (const auto spec_path = cli.get("spec")) {
+    catalog = io::load_scenario_file(*spec_path).catalog;
+  } else {
+    catalog = scenario::CircuitCatalog::shared_paper();
+  }
+  core::Table t({"circuit", "spec"});
+  for (const std::string& name : catalog->names()) {
+    t.add_row({name, catalog->describe(name)});
+  }
+  t.print(std::cout);
+  std::cout << "(campaign jobs name these; resolve is memoized per "
+               "(circuit, inflation))\n";
+  return 0;
+}
+
 int cmd_tune(const Cli& cli) {
   // Mode exclusivity up front, in the same no-silent-surprises spirit (and
   // with the same usage exit code 2) as the option whitelists: --simulate
@@ -558,19 +598,18 @@ int cmd_tune(const Cli& cli) {
                  "combine it with --simulate\n";
     return 2;
   }
-  const LoadedCircuit lc = load_circuit(cli);
-  const netlist::CellLibrary lib = netlist::CellLibrary::standard();
-  const timing::CircuitModel model(lc.netlist, lib, lc.buffered_ffs);
-  if (model.num_pairs() == 0) {
+  const auto circuit = provision_circuit(cli);
+  if (circuit->model.num_pairs() == 0) {
     std::cerr << "no monitored paths (no FF pair touches a buffer)\n";
     return 1;
   }
-  const core::Problem problem(model);
-  core::FlowOptions opts = flow_options_from(cli, problem);
+  core::FlowOptions opts = flow_options_from(cli, circuit->problem);
   const std::size_t chips = cli.get("chips") ? std::stoul(*cli.get("chips"))
                                              : std::size_t{1};
 
-  const core::TunerService service(problem, opts);
+  // The shared-ownership constructor: the service keeps the provisioned
+  // bundle alive for every session it mints.
+  const core::TunerService service(circuit, opts);
   io::TuneServer server(service, chips);
 
   io::TuneServerResult result;
@@ -623,8 +662,16 @@ int main(int argc, char** argv) {
     if (cli.command == "ssta") return cmd_ssta(cli);
     if (cli.command == "run") return cmd_run(cli);
     if (cli.command == "campaign") return cmd_campaign(cli);
+    if (cli.command == "circuits") return cmd_circuits(cli);
     if (cli.command == "tune") return cmd_tune(cli);
     return 2;  // unreachable: validate_cli rejected unknown commands
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  } catch (const io::ScenarioError& e) {
+    // A malformed scenario spec is a usage error, same as a bad option.
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
