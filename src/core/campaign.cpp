@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -63,10 +64,54 @@ CampaignResult CampaignRunner::run(
   }
   out.jobs.resize(jobs.size());
 
-  // Group job indices by circuit, preserving first-appearance order (the
-  // group's first job defines which artifacts the rest reuse).
-  std::vector<std::pair<std::string, std::vector<std::size_t>>> groups;
+  // Inject resumed results (a loaded checkpoint): those jobs are done. The
+  // job fields must match the submitted list — a checkpoint belonging to a
+  // different campaign must fail loudly, never blend silently.
+  std::vector<char> done(jobs.size(), 0);
+  for (const auto& [idx, result] : options_.completed) {
+    if (idx >= jobs.size()) {
+      throw std::invalid_argument(
+          "CampaignRunner: completed job index " + std::to_string(idx) +
+          " is out of range (" + std::to_string(jobs.size()) + " jobs)");
+    }
+    if (done[idx] != 0) {
+      throw std::invalid_argument("CampaignRunner: duplicate completed index " +
+                                  std::to_string(idx));
+    }
+    const CampaignJob& job = jobs[idx];
+    if (result.job.circuit != job.circuit ||
+        result.job.designated_period != job.designated_period ||
+        result.job.quantile != job.quantile) {
+      throw std::invalid_argument(
+          "CampaignRunner: completed job " + std::to_string(idx) +
+          " does not match the submitted job list");
+    }
+    done[idx] = 1;
+    out.jobs[idx] = result;
+    out.jobs[idx].completed = true;
+  }
+
+  // Pending jobs in input order; max_jobs truncates here, which makes the
+  // stop point a deterministic job boundary regardless of thread count.
+  std::vector<std::size_t> pending;
+  pending.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (done[i] == 0) pending.push_back(i);
+  }
+  if (options_.max_jobs > 0 && pending.size() > options_.max_jobs) {
+    pending.resize(options_.max_jobs);
+  }
+  if (pending.empty()) {
+    out.total_seconds = seconds_since(t0);
+    return out;  // everything was resumed
+  }
+
+  // Group pending job indices by circuit, preserving first-appearance order
+  // (the group's first job defines which artifacts the rest reuse; a
+  // resumed group's first pending job simply prepares fresh, which is
+  // bit-identical to the reuse path).
+  std::vector<std::pair<std::string, std::vector<std::size_t>>> groups;
+  for (const std::size_t i : pending) {
     auto it = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
       return g.first == jobs[i].circuit;
     });
@@ -76,6 +121,9 @@ CampaignResult CampaignRunner::run(
       it->second.push_back(i);
     }
   }
+
+  // Serializes on_job_complete: a checkpoint sink sees one call at a time.
+  std::mutex sink_mutex;
 
   parallel::ForOptions fopts;
   fopts.threads = options_.threads;
@@ -114,8 +162,13 @@ CampaignResult CampaignRunner::run(
       slot.metrics.ns = circuit->netlist.num_flip_flops();
       slot.metrics.ng = circuit->netlist.num_combinational_gates();
       slot.seconds = seconds_since(j0);
+      slot.completed = true;
       if (prepared == nullptr) {
         prepared = std::move(result.artifacts);  // shared, not copied
+      }
+      if (options_.on_job_complete) {
+        const std::lock_guard<std::mutex> lock(sink_mutex);
+        options_.on_job_complete(idx, slot);
       }
     }
   });

@@ -24,8 +24,10 @@
 // thread count (job wall-clock fields excepted).
 
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/flow.hpp"
@@ -60,11 +62,22 @@ struct CampaignJobResult {
   /// construction excluded (non-deterministic; everything else in the
   /// result is thread-invariant).
   double seconds = 0.0;
+  /// True when `metrics` is valid: the job ran this invocation or was
+  /// injected from a checkpoint (CampaignOptions::completed). False only
+  /// for jobs left pending by CampaignOptions::max_jobs.
+  bool completed = false;
 };
 
 struct CampaignResult {
   std::vector<CampaignJobResult> jobs;  ///< in input order
   double total_seconds = 0.0;           ///< campaign wall time
+
+  /// Jobs with valid metrics (run or resumed).
+  [[nodiscard]] std::size_t completed_jobs() const {
+    std::size_t n = 0;
+    for (const CampaignJobResult& j : jobs) n += j.completed ? 1 : 0;
+    return n;
+  }
 };
 
 struct CampaignOptions {
@@ -89,6 +102,26 @@ struct CampaignOptions {
   /// default: the historical campaign path never applied them, and golden
   /// paper metrics are pinned without them.
   bool use_exclusions = false;
+
+  // --- checkpoint/resume hooks (io/checkpoint_json.hpp wires these) -------
+
+  /// Already-completed job results keyed by the index into the jobs vector
+  /// passed to run() (a resumed checkpoint). These jobs are not re-run:
+  /// their results are copied into the output verbatim (the job fields must
+  /// match the submitted jobs — validated up front). Because every job is
+  /// independently seeded and a fresh prepare is bit-identical to reused
+  /// artifacts, skipping any subset leaves the remaining jobs' results
+  /// unchanged — a resumed campaign equals the uninterrupted one bit for
+  /// bit (wall-clock fields excepted).
+  std::vector<std::pair<std::size_t, CampaignJobResult>> completed;
+  /// Called once per newly finished job (resumed jobs excluded) with its
+  /// jobs-vector index and result. Calls are serialized by the runner (one
+  /// at a time, any thread), so a checkpoint writer needs no extra locking.
+  std::function<void(std::size_t, const CampaignJobResult&)> on_job_complete;
+  /// Run at most this many pending jobs, chosen in input order (0 = all).
+  /// The deterministic "kill at job boundary k" knob: the campaign stops
+  /// cleanly with the remaining jobs marked not-completed, ready to resume.
+  std::size_t max_jobs = 0;
 };
 
 class CampaignRunner {

@@ -1,0 +1,352 @@
+#include "io/checkpoint_json.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/json.hpp"
+#include "scenario/circuit_catalog.hpp"
+
+namespace effitest::io {
+
+namespace {
+
+constexpr const char* kSchema = "effitest-checkpoint-v1";
+
+// One table drives both serialization and parsing, so the two sides can
+// never drift out of sync. Every FlowMetrics field is persisted: doubles
+// through format_double (max_digits10) for an exact bit round-trip.
+struct SizeField {
+  const char* name;
+  std::size_t core::FlowMetrics::* member;
+};
+struct DoubleField {
+  const char* name;
+  double core::FlowMetrics::* member;
+};
+
+constexpr SizeField kSizeFields[] = {
+    {"ns", &core::FlowMetrics::ns},
+    {"ng", &core::FlowMetrics::ng},
+    {"nb", &core::FlowMetrics::nb},
+    {"np", &core::FlowMetrics::np},
+    {"npt", &core::FlowMetrics::npt},
+    {"num_groups", &core::FlowMetrics::num_groups},
+    {"num_batches", &core::FlowMetrics::num_batches},
+    {"num_selected", &core::FlowMetrics::num_selected},
+    {"forced_resolutions", &core::FlowMetrics::forced_resolutions},
+    {"infeasible_configs", &core::FlowMetrics::infeasible_configs},
+};
+
+constexpr DoubleField kDoubleFields[] = {
+    {"epsilon_ps", &core::FlowMetrics::epsilon_ps},
+    {"designated_period", &core::FlowMetrics::designated_period},
+    {"ta", &core::FlowMetrics::ta},
+    {"tv", &core::FlowMetrics::tv},
+    {"ta_pathwise", &core::FlowMetrics::ta_pathwise},
+    {"tv_pathwise", &core::FlowMetrics::tv_pathwise},
+    {"ra", &core::FlowMetrics::ra},
+    {"rv", &core::FlowMetrics::rv},
+    {"yield_no_buffer", &core::FlowMetrics::yield_no_buffer},
+    {"yield_ideal", &core::FlowMetrics::yield_ideal},
+    {"yield_proposed", &core::FlowMetrics::yield_proposed},
+    {"yield_drop", &core::FlowMetrics::yield_drop},
+    {"tp_seconds", &core::FlowMetrics::tp_seconds},
+    {"tt_seconds_per_chip", &core::FlowMetrics::tt_seconds_per_chip},
+    {"ts_seconds_per_chip", &core::FlowMetrics::ts_seconds_per_chip},
+};
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw CheckpointError(path + ": " + what);
+}
+
+// --- schema reading --------------------------------------------------------
+
+const json::Value& require(const std::string& path, const json::Value& obj,
+                           const char* key, json::Value::Kind kind) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) {
+    fail(path, "line " + std::to_string(obj.line) + ": missing key \"" +
+                   key + "\"");
+  }
+  if (v->kind != kind) {
+    fail(path, "line " + std::to_string(v->line) + ": \"" + key +
+                   "\" must be a " + std::string(json::kind_name(kind)) +
+                   ", got " + json::kind_name(v->kind));
+  }
+  return *v;
+}
+
+void reject_unknown_keys(const std::string& path, const json::Value& obj,
+                         std::initializer_list<const char*> known) {
+  for (const auto& [key, value] : obj.object) {
+    bool ok = false;
+    for (const char* k : known) ok = ok || key == k;
+    if (!ok) {
+      fail(path, "line " + std::to_string(value.line) + ": unknown key \"" +
+                     key + "\"");
+    }
+  }
+}
+
+std::size_t checked_index(const std::string& path, const json::Value& v,
+                          const char* key) {
+  const double d = v.number;
+  if (!(d >= 0.0) || d != std::floor(d) || d > 9.0e15) {
+    fail(path, "line " + std::to_string(v.line) + ": \"" + key +
+                   "\" must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+core::FlowMetrics read_metrics(const std::string& path,
+                               const json::Value& obj) {
+  core::FlowMetrics m;
+  std::size_t expected = 0;
+  for (const SizeField& f : kSizeFields) {
+    m.*(f.member) = checked_index(
+        path, require(path, obj, f.name, json::Value::Kind::kNumber), f.name);
+    ++expected;
+  }
+  for (const DoubleField& f : kDoubleFields) {
+    m.*(f.member) =
+        require(path, obj, f.name, json::Value::Kind::kNumber).number;
+    ++expected;
+  }
+  if (obj.object.size() != expected) {
+    fail(path, "line " + std::to_string(obj.line) +
+                   ": metrics object has unexpected keys");
+  }
+  return m;
+}
+
+// --- serialization ---------------------------------------------------------
+
+void append_metrics(std::string& out, const core::FlowMetrics& m) {
+  out += '{';
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out += ", ";
+    first = false;
+  };
+  for (const SizeField& f : kSizeFields) {
+    sep();
+    out += json::quote(f.name) + ": " + std::to_string(m.*(f.member));
+  }
+  for (const DoubleField& f : kDoubleFields) {
+    sep();
+    out += json::quote(f.name) + ": " + json::format_double(m.*(f.member));
+  }
+  out += '}';
+}
+
+void append_entry(std::string& out, std::size_t index,
+                  const core::CampaignJobResult& result) {
+  out += "    {\"index\": " + std::to_string(index) + ",\n";
+  out += "     \"job\": {\"circuit\": " + json::quote(result.job.circuit) +
+         ", \"designated_period\": " +
+         json::format_double(result.job.designated_period) +
+         ", \"quantile\": " + json::format_double(result.job.quantile) +
+         "},\n";
+  out += "     \"seconds\": " + json::format_double(result.seconds) + ",\n";
+  out += "     \"metrics\": ";
+  append_metrics(out, result.metrics);
+  out += "}";
+}
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string campaign_identity(const std::vector<core::CampaignJob>& jobs,
+                              const core::CampaignOptions& options) {
+  // Canonical description of everything that feeds the deterministic
+  // results. Thread counts are excluded on purpose: results are
+  // thread-invariant, so resuming with a different --threads is legal.
+  const std::shared_ptr<const scenario::CircuitCatalog> catalog =
+      options.catalog ? options.catalog
+                      : scenario::CircuitCatalog::shared_paper();
+  std::string canon = kSchema;
+  canon += "\nchips=" + std::to_string(options.flow.chips);
+  canon += " seed=" + std::to_string(options.flow.seed);
+  canon += " prediction=" + std::to_string(options.flow.use_prediction ? 1 : 0);
+  canon += " align=" +
+           std::to_string(options.flow.test.align_with_buffers ? 1 : 0);
+  canon += " fill=" + std::to_string(options.flow.fill_slots ? 1 : 0);
+  canon += " yield=" + std::to_string(options.flow.evaluate_yield ? 1 : 0);
+  canon += " epsilon=" + json::format_double(options.flow.epsilon_override);
+  canon += " inflation=" + json::format_double(options.random_inflation);
+  canon += " calibration=" + std::to_string(options.calibration_chips);
+  canon += " exclusions=" + std::to_string(options.use_exclusions ? 1 : 0);
+  std::vector<std::string> seen;
+  for (const core::CampaignJob& job : jobs) {
+    bool dup = false;
+    for (const std::string& name : seen) dup = dup || name == job.circuit;
+    if (!dup) {
+      seen.push_back(job.circuit);
+      canon += "\ncircuit " + job.circuit + ": " + catalog->describe(job.circuit);
+    }
+  }
+  for (const core::CampaignJob& job : jobs) {
+    canon += "\njob " + job.circuit + " td=" +
+             json::format_double(job.designated_period) +
+             " q=" + json::format_double(job.quantile);
+  }
+  std::ostringstream hex;
+  hex << std::hex;
+  const std::uint64_t h = fnv1a64(canon);
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    hex << ((h >> shift) & 0xF);
+  }
+  return hex.str();
+}
+
+CampaignCheckpoint load_campaign_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open checkpoint file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) fail(path, "cannot read checkpoint file");
+  const std::string text = buffer.str();
+
+  json::Value root;
+  try {
+    root = json::Parser(text, path).parse();
+  } catch (const json::ParseError& e) {
+    throw CheckpointError(std::string("corrupt checkpoint: ") + e.what());
+  }
+  if (root.kind != json::Value::Kind::kObject) {
+    fail(path, "checkpoint must be a JSON object");
+  }
+  reject_unknown_keys(path, root,
+                      {"schema", "identity", "total_jobs", "completed"});
+  const std::string& schema =
+      require(path, root, "schema", json::Value::Kind::kString).string;
+  if (schema != kSchema) {
+    fail(path, "unsupported schema \"" + schema + "\" (expected \"" +
+                   kSchema + "\")");
+  }
+
+  CampaignCheckpoint out;
+  out.identity =
+      require(path, root, "identity", json::Value::Kind::kString).string;
+  out.total_jobs = checked_index(
+      path, require(path, root, "total_jobs", json::Value::Kind::kNumber),
+      "total_jobs");
+  const json::Value& completed =
+      require(path, root, "completed", json::Value::Kind::kArray);
+  out.completed.reserve(completed.array.size());
+  for (const json::Value& entry : completed.array) {
+    if (entry.kind != json::Value::Kind::kObject) {
+      fail(path, "line " + std::to_string(entry.line) +
+                     ": completed entry must be an object");
+    }
+    reject_unknown_keys(path, entry, {"index", "job", "seconds", "metrics"});
+    const std::size_t index = checked_index(
+        path, require(path, entry, "index", json::Value::Kind::kNumber),
+        "index");
+    if (index >= out.total_jobs) {
+      fail(path, "line " + std::to_string(entry.line) + ": index " +
+                     std::to_string(index) + " is out of range (" +
+                     std::to_string(out.total_jobs) + " jobs)");
+    }
+    const json::Value& job =
+        require(path, entry, "job", json::Value::Kind::kObject);
+    reject_unknown_keys(path, job,
+                        {"circuit", "designated_period", "quantile"});
+    core::CampaignJobResult result;
+    result.job.circuit =
+        require(path, job, "circuit", json::Value::Kind::kString).string;
+    result.job.designated_period =
+        require(path, job, "designated_period", json::Value::Kind::kNumber)
+            .number;
+    result.job.quantile =
+        require(path, job, "quantile", json::Value::Kind::kNumber).number;
+    result.seconds =
+        require(path, entry, "seconds", json::Value::Kind::kNumber).number;
+    result.metrics = read_metrics(
+        path, require(path, entry, "metrics", json::Value::Kind::kObject));
+    result.completed = true;
+    out.completed.emplace_back(index, std::move(result));
+  }
+  return out;
+}
+
+void validate_campaign_checkpoint(const CampaignCheckpoint& checkpoint,
+                                  const std::string& identity,
+                                  std::size_t total_jobs,
+                                  const std::string& path) {
+  if (checkpoint.identity != identity) {
+    fail(path, "checkpoint identity " + checkpoint.identity +
+                   " does not match this campaign (" + identity +
+                   ") — circuits, periods, seed or flow options differ");
+  }
+  if (checkpoint.total_jobs != total_jobs) {
+    fail(path, "checkpoint covers " + std::to_string(checkpoint.total_jobs) +
+                   " jobs, this campaign has " + std::to_string(total_jobs));
+  }
+}
+
+CheckpointWriter::CheckpointWriter(
+    std::string path, std::string identity, std::size_t total_jobs,
+    std::vector<std::pair<std::size_t, core::CampaignJobResult>> completed)
+    : path_(std::move(path)),
+      identity_(std::move(identity)),
+      total_jobs_(total_jobs),
+      completed_(std::move(completed)) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  write_locked();
+}
+
+void CheckpointWriter::record(std::size_t index,
+                              const core::CampaignJobResult& result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  completed_.emplace_back(index, result);
+  write_locked();
+}
+
+void CheckpointWriter::write_locked() const {
+  std::string out = "{\n";
+  out += "  \"schema\": " + std::string(json::quote(kSchema)) + ",\n";
+  out += "  \"identity\": " + json::quote(identity_) + ",\n";
+  out += "  \"total_jobs\": " + std::to_string(total_jobs_) + ",\n";
+  out += "  \"completed\": [";
+  bool first = true;
+  for (const auto& [index, result] : completed_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    append_entry(out, index, result);
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+
+  // Temp + rename: a kill at any instant leaves a complete checkpoint
+  // (the previous one or this one) on disk, never a torn file.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      throw std::runtime_error("checkpoint: cannot open " + tmp +
+                               " for writing");
+    }
+    file << out;
+    file.flush();
+    if (!file.good()) {
+      throw std::runtime_error("checkpoint: write to " + tmp + " failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
+                             path_);
+  }
+}
+
+}  // namespace effitest::io

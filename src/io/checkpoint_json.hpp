@@ -1,0 +1,107 @@
+#pragma once
+// Campaign checkpoint/resume: the effitest-checkpoint-v1 JSON schema.
+//
+// A checkpoint is the durable side of CampaignOptions' resume hooks: a
+// CheckpointWriter wired into on_job_complete persists every finished
+// job's (index, CampaignJobResult), and load_campaign_checkpoint feeds
+// them back through CampaignOptions::completed on the next invocation.
+// Because every campaign job is independently seeded and a fresh prepare
+// is bit-identical to reused artifacts (pinned by flow_reuse_test), a
+// resumed campaign's results equal the uninterrupted run bit for bit —
+// wall-clock fields excepted (they are persisted and restored verbatim,
+// so resumed jobs report the wall time of the run that actually executed
+// them).
+//
+// Schema (one JSON object):
+//   {
+//     "schema": "effitest-checkpoint-v1",
+//     "identity": "<16 hex digits>",       // campaign_identity()
+//     "total_jobs": N,
+//     "completed": [ { "index": i, "job": {...}, "seconds": s,
+//                      "metrics": {...} }, ... ]
+//   }
+//
+// Identity covers everything that feeds the deterministic results: the
+// result-affecting flow knobs, the catalog description of every distinct
+// circuit, and the full job list. Thread counts are deliberately
+// excluded — results are thread-invariant, so a campaign checkpointed at
+// --threads=4 may resume at --threads=1 (checkpoint_test pins this).
+// Doubles are written with json::format_double (max_digits10), so
+// metrics round-trip exactly.
+//
+// The writer rewrites the whole file on every record via a temp file +
+// atomic rename: a kill at any instant leaves either the previous or the
+// new complete checkpoint on disk, never a torn one.
+
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace effitest::io {
+
+/// Unreadable, malformed or mismatched checkpoint. The CLI maps this to
+/// exit 2 (a bad input, like a bad scenario spec).
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct CampaignCheckpoint {
+  std::string identity;        ///< campaign_identity() of the writing run
+  std::size_t total_jobs = 0;  ///< size of the writing run's job list
+  /// Finished jobs keyed by index into the job list — feeds
+  /// core::CampaignOptions::completed directly.
+  std::vector<std::pair<std::size_t, core::CampaignJobResult>> completed;
+};
+
+/// Canonical identity hash (16 lowercase hex digits, FNV-1a 64) of a
+/// campaign: the result-affecting options, every distinct circuit's
+/// catalog description, and the full job list. A null options.catalog
+/// resolves to the shared paper catalog, exactly as the runner does.
+[[nodiscard]] std::string campaign_identity(
+    const std::vector<core::CampaignJob>& jobs,
+    const core::CampaignOptions& options);
+
+/// Parse a checkpoint file. Throws CheckpointError when the file cannot
+/// be read, is not valid JSON, or does not carry the v1 schema.
+[[nodiscard]] CampaignCheckpoint load_campaign_checkpoint(
+    const std::string& path);
+
+/// Validate a loaded checkpoint against the campaign about to resume it.
+/// Throws CheckpointError naming the mismatch (identity or job count).
+void validate_campaign_checkpoint(const CampaignCheckpoint& checkpoint,
+                                  const std::string& identity,
+                                  std::size_t total_jobs,
+                                  const std::string& path);
+
+/// Incremental checkpoint writer. Construction writes a valid (possibly
+/// empty) checkpoint immediately; record() appends one finished job and
+/// rewrites the file atomically (temp + rename). Thread-safe, though the
+/// campaign runner already serializes on_job_complete calls.
+class CheckpointWriter {
+ public:
+  /// `completed` seeds the writer with resumed results so a
+  /// resume-of-a-resume keeps the earlier jobs.
+  CheckpointWriter(
+      std::string path, std::string identity, std::size_t total_jobs,
+      std::vector<std::pair<std::size_t, core::CampaignJobResult>> completed =
+          {});
+
+  void record(std::size_t index, const core::CampaignJobResult& result);
+
+ private:
+  void write_locked() const;
+
+  std::string path_;
+  std::string identity_;
+  std::size_t total_jobs_;
+  std::vector<std::pair<std::size_t, core::CampaignJobResult>> completed_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace effitest::io

@@ -1,0 +1,251 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace effitest::io::json {
+
+const char* kind_name(Value::Kind kind) {
+  switch (kind) {
+    case Value::Kind::kNull: return "null";
+    case Value::Kind::kBool: return "bool";
+    case Value::Kind::kNumber: return "number";
+    case Value::Kind::kString: return "string";
+    case Value::Kind::kArray: return "array";
+    case Value::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+Value Parser::parse() {
+  Value v = parse_value();
+  skip_ws();
+  if (pos_ != text_.size()) fail("trailing content after the document");
+  return v;
+}
+
+void Parser::fail_at(std::size_t line, const std::string& what) const {
+  throw ParseError(source_ + " line " + std::to_string(line) + ": " + what,
+                   line);
+}
+
+void Parser::fail(const std::string& what) const { fail_at(line_, what); }
+
+void Parser::skip_ws() {
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c == '\n') {
+      ++line_;
+      ++pos_;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      ++pos_;
+    } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+      while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+    } else {
+      break;
+    }
+  }
+}
+
+char Parser::peek() {
+  skip_ws();
+  if (pos_ >= text_.size()) fail("unexpected end of input");
+  return text_[pos_];
+}
+
+void Parser::expect(char c) {
+  if (peek() != c) {
+    fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+  }
+  ++pos_;
+}
+
+bool Parser::consume_keyword(const char* kw) {
+  const std::size_t n = std::string(kw).size();
+  if (text_.compare(pos_, n, kw) != 0) return false;
+  pos_ += n;
+  return true;
+}
+
+Value Parser::parse_value() {
+  // Recursion guard: a pathological deeply-nested document must raise
+  // ParseError, not overflow the stack. Real documents nest ~4 levels.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > 64) parser.fail("nesting too deep");
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  } guard(*this);
+
+  Value v;
+  const char c = peek();
+  v.line = line_;
+  if (c == '{') {
+    v.kind = Value::Kind::kObject;
+    ++pos_;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      Value key = parse_value();
+      if (key.kind != Value::Kind::kString) {
+        fail_at(key.line, "object key must be a string");
+      }
+      for (const auto& [k, unused] : v.object) {
+        (void)unused;
+        if (k == key.string) {
+          fail_at(key.line, "duplicate key \"" + key.string + "\"");
+        }
+      }
+      expect(':');
+      v.object.emplace_back(std::move(key.string), parse_value());
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      break;
+    }
+    return v;
+  }
+  if (c == '[') {
+    v.kind = Value::Kind::kArray;
+    ++pos_;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      const char next = peek();
+      if (next == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      break;
+    }
+    return v;
+  }
+  if (c == '"') {
+    v.kind = Value::Kind::kString;
+    v.string = parse_string();
+    return v;
+  }
+  if (c == 't' && consume_keyword("true")) {
+    v.kind = Value::Kind::kBool;
+    v.boolean = true;
+    return v;
+  }
+  if (c == 'f' && consume_keyword("false")) {
+    v.kind = Value::Kind::kBool;
+    v.boolean = false;
+    return v;
+  }
+  if (c == 'n' && consume_keyword("null")) {
+    v.kind = Value::Kind::kNull;
+    return v;
+  }
+  if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+    v.kind = Value::Kind::kNumber;
+    v.number = parse_number();
+    return v;
+  }
+  fail(std::string("unexpected character '") + c + "'");
+}
+
+std::string Parser::parse_string() {
+  ++pos_;  // opening quote (peeked by caller)
+  std::string out;
+  while (true) {
+    if (pos_ >= text_.size()) fail("unterminated string");
+    const char c = text_[pos_++];
+    if (c == '"') return out;
+    if (c == '\n') fail("unterminated string");
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (pos_ >= text_.size()) fail("unterminated escape");
+    const char e = text_[pos_++];
+    switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      default:
+        fail(std::string("unsupported escape \\") + e);
+    }
+  }
+}
+
+double Parser::parse_number() {
+  const std::size_t start = pos_;
+  if (text_[pos_] == '-') ++pos_;
+  const auto digits = [&] {
+    const std::size_t before = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > before;
+  };
+  if (!digits()) fail("malformed number");
+  if (pos_ < text_.size() && text_[pos_] == '.') {
+    ++pos_;
+    if (!digits()) fail("malformed number");
+  }
+  if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+    ++pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (!digits()) fail("malformed number");
+  }
+  const std::string token = text_.substr(start, pos_ - start);
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(value)) {
+    fail("malformed number " + token);
+  }
+  return value;
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace effitest::io::json

@@ -1,0 +1,92 @@
+#pragma once
+// Minimal shared JSON value + recursive-descent parser for the io layer.
+//
+// Self-contained on purpose: the container bakes no JSON dependency, and
+// the schemas this repository speaks (scenario specs, campaign
+// checkpoints, bench reports) need only objects/arrays/strings/numbers/
+// bools. Extensions over strict JSON: `//` line comments, so shipped
+// files can be annotated. Every parse error carries the 1-based line of
+// the offending token; callers (scenario_json, checkpoint_json) translate
+// ParseError into their own schema-level exception type so the CLI's
+// exit-code mapping stays per-surface.
+//
+// Hardening contract (policed by tests/fuzz/fuzz_scenario_json and the
+// corpus-replay `fuzz` ctest suite): arbitrary input must either parse or
+// raise ParseError — never crash, loop, overflow the stack (64-level
+// nesting guard) or trip a sanitizer.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace effitest::io::json {
+
+/// Malformed JSON. `what()` is "<source> line <n>: <reason>".
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t line)
+      : std::runtime_error(what), line(line) {}
+  std::size_t line = 0;
+};
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  ///< input order
+  std::size_t line = 0;
+
+  [[nodiscard]] const Value* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+[[nodiscard]] const char* kind_name(Value::Kind kind);
+
+class Parser {
+ public:
+  /// `source` names the document in error messages (a file path, "fuzz").
+  Parser(const std::string& text, const std::string& source)
+      : text_(text), source_(source) {}
+
+  /// Parse the whole document (trailing content is an error).
+  [[nodiscard]] Value parse();
+
+  /// Raise a ParseError anchored at `line` — also used by schema readers
+  /// so semantic errors carry the same source/line prefix as syntax ones.
+  [[noreturn]] void fail_at(std::size_t line, const std::string& what) const;
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+  void skip_ws();
+  char peek();
+  void expect(char c);
+  bool consume_keyword(const char* kw);
+  Value parse_value();
+  std::string parse_string();
+  double parse_number();
+
+  const std::string& text_;
+  const std::string source_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t depth_ = 0;
+};
+
+/// Round-trip formatting for doubles (max_digits10): the deterministic
+/// metrics written through this re-read bit-identically.
+[[nodiscard]] std::string format_double(double v);
+
+/// A JSON string literal (quotes included) with the escapes the Parser
+/// understands — quote/parse round-trips any byte string.
+[[nodiscard]] std::string quote(const std::string& s);
+
+}  // namespace effitest::io::json

@@ -1,270 +1,23 @@
 #include "io/scenario_json.hpp"
 
-#include <cctype>
 #include <cmath>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <utility>
+
+#include "io/json.hpp"
 
 namespace effitest::io {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Minimal JSON value + recursive-descent parser. Self-contained on purpose:
-// the container bakes no JSON dependency, and the scenario schema needs only
-// objects/arrays/strings/numbers/bools. Extensions over strict JSON: `//`
-// line comments (so shipped specs can be annotated). Every error carries the
-// 1-based line of the offending token.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;  ///< input order
-  std::size_t line = 0;
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-const char* kind_name(JsonValue::Kind kind) {
-  switch (kind) {
-    case JsonValue::Kind::kNull: return "null";
-    case JsonValue::Kind::kBool: return "bool";
-    case JsonValue::Kind::kNumber: return "number";
-    case JsonValue::Kind::kString: return "string";
-    case JsonValue::Kind::kArray: return "array";
-    case JsonValue::Kind::kObject: return "object";
-  }
-  return "?";
-}
-
-class JsonParser {
- public:
-  JsonParser(const std::string& text, const std::string& source)
-      : text_(text), source_(source) {}
-
-  [[nodiscard]] JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content after the document");
-    return v;
-  }
-
-  [[noreturn]] void fail_at(std::size_t line, const std::string& what) const {
-    throw ScenarioError(source_ + " line " + std::to_string(line) + ": " +
-                        what);
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    fail_at(line_, what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '\n') {
-        ++line_;
-        ++pos_;
-      } else if (std::isspace(static_cast<unsigned char>(c))) {
-        ++pos_;
-      } else if (c == '/' && pos_ + 1 < text_.size() &&
-                 text_[pos_ + 1] == '/') {
-        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
-      } else {
-        break;
-      }
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) {
-      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
-    }
-    ++pos_;
-  }
-
-  bool consume_keyword(const char* kw) {
-    const std::size_t n = std::string(kw).size();
-    if (text_.compare(pos_, n, kw) != 0) return false;
-    pos_ += n;
-    return true;
-  }
-
-  JsonValue parse_value() {
-    // Recursion guard: a pathological deeply-nested document must raise
-    // ScenarioError, not overflow the stack. Real specs nest ~4 levels.
-    struct DepthGuard {
-      explicit DepthGuard(JsonParser& p) : parser(p) {
-        if (++parser.depth_ > 64) parser.fail("nesting too deep");
-      }
-      ~DepthGuard() { --parser.depth_; }
-      JsonParser& parser;
-    } guard(*this);
-
-    JsonValue v;
-    const char c = peek();
-    v.line = line_;
-    if (c == '{') {
-      v.kind = JsonValue::Kind::kObject;
-      ++pos_;
-      if (peek() == '}') {
-        ++pos_;
-        return v;
-      }
-      while (true) {
-        JsonValue key = parse_value();
-        if (key.kind != JsonValue::Kind::kString) {
-          fail_at(key.line, "object key must be a string");
-        }
-        for (const auto& [k, unused] : v.object) {
-          (void)unused;
-          if (k == key.string) {
-            fail_at(key.line, "duplicate key \"" + key.string + "\"");
-          }
-        }
-        expect(':');
-        v.object.emplace_back(std::move(key.string), parse_value());
-        const char next = peek();
-        if (next == ',') {
-          ++pos_;
-          continue;
-        }
-        expect('}');
-        break;
-      }
-      return v;
-    }
-    if (c == '[') {
-      v.kind = JsonValue::Kind::kArray;
-      ++pos_;
-      if (peek() == ']') {
-        ++pos_;
-        return v;
-      }
-      while (true) {
-        v.array.push_back(parse_value());
-        const char next = peek();
-        if (next == ',') {
-          ++pos_;
-          continue;
-        }
-        expect(']');
-        break;
-      }
-      return v;
-    }
-    if (c == '"') {
-      v.kind = JsonValue::Kind::kString;
-      v.string = parse_string();
-      return v;
-    }
-    if (c == 't' && consume_keyword("true")) {
-      v.kind = JsonValue::Kind::kBool;
-      v.boolean = true;
-      return v;
-    }
-    if (c == 'f' && consume_keyword("false")) {
-      v.kind = JsonValue::Kind::kBool;
-      v.boolean = false;
-      return v;
-    }
-    if (c == 'n' && consume_keyword("null")) {
-      v.kind = JsonValue::Kind::kNull;
-      return v;
-    }
-    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
-      v.kind = JsonValue::Kind::kNumber;
-      v.number = parse_number();
-      return v;
-    }
-    fail(std::string("unexpected character '") + c + "'");
-  }
-
-  std::string parse_string() {
-    ++pos_;  // opening quote (peeked by caller)
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c == '\n') fail("unterminated string");
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'n': out += '\n'; break;
-        case 't': out += '\t'; break;
-        case 'r': out += '\r'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        default:
-          fail(std::string("unsupported escape \\") + e);
-      }
-    }
-  }
-
-  double parse_number() {
-    const std::size_t start = pos_;
-    if (text_[pos_] == '-') ++pos_;
-    const auto digits = [&] {
-      const std::size_t before = pos_;
-      while (pos_ < text_.size() &&
-             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
-      }
-      return pos_ > before;
-    };
-    if (!digits()) fail("malformed number");
-    if (pos_ < text_.size() && text_[pos_] == '.') {
-      ++pos_;
-      if (!digits()) fail("malformed number");
-    }
-    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
-        ++pos_;
-      }
-      if (!digits()) fail("malformed number");
-    }
-    const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0' || !std::isfinite(value)) {
-      fail("malformed number " + token);
-    }
-    return value;
-  }
-
-  const std::string& text_;
-  const std::string source_;
-  std::size_t pos_ = 0;
-  std::size_t line_ = 1;
-  std::size_t depth_ = 0;
-};
+// The JSON layer (io/json.hpp) provides the shared value/parser; this file
+// only owns the effitest-scenario-v1 schema mapping. json::ParseError is
+// translated into ScenarioError at the parse_scenario boundary so the CLI
+// exit-code mapping is unchanged.
+using JsonValue = json::Value;
+using JsonParser = json::Parser;
+using json::kind_name;
 
 // ---------------------------------------------------------------------------
 // Schema mapping. Strict: unknown keys anywhere are errors — a typo like
@@ -438,8 +191,8 @@ CircuitEntry read_circuit(const SchemaReader& r, const JsonValue& entry,
         out.spec = scenario::PaperCircuit{paper->string, seed};
         out.referenced = name == nullptr && !seed.has_value();
       }
-    } catch (const ScenarioError&) {
-      throw;
+    } catch (const json::ParseError&) {
+      throw;  // already carries the source/line prefix
     } catch (const std::exception& e) {
       r.fail(*paper, e.what());
     }
@@ -512,10 +265,9 @@ std::vector<double> read_grid(const SchemaReader& r, const JsonValue& root,
   return out;
 }
 
-}  // namespace
-
-Scenario parse_scenario(const std::string& text, const std::string& source,
-                        const std::string& base_dir) {
+Scenario parse_scenario_impl(const std::string& text,
+                             const std::string& source,
+                             const std::string& base_dir) {
   JsonParser parser(text, source);
   const JsonValue root = parser.parse();
   const SchemaReader r(parser);
@@ -628,6 +380,19 @@ Scenario parse_scenario(const std::string& text, const std::string& source,
 
   options.catalog = scenario.catalog;
   return scenario;
+}
+
+}  // namespace
+
+Scenario parse_scenario(const std::string& text, const std::string& source,
+                        const std::string& base_dir) {
+  try {
+    return parse_scenario_impl(text, source, base_dir);
+  } catch (const json::ParseError& e) {
+    // Syntax and schema errors alike surface as ScenarioError (CLI exit 2),
+    // message format unchanged: "<source> line <n>: <reason>".
+    throw ScenarioError(e.what());
+  }
 }
 
 Scenario load_scenario_file(const std::string& path) {

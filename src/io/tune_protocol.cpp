@@ -1,5 +1,6 @@
 #include "io/tune_protocol.hpp"
 
+#include <algorithm>
 #include <iomanip>
 #include <istream>
 #include <limits>
@@ -29,12 +30,20 @@ std::string number(double v) {
   return os.str();
 }
 
+/// Out-of-order window: a response whose seq is this far beyond the chip's
+/// next expected one cannot belong to any stimulus the server will ever
+/// issue soon enough to matter (sessions are capped at
+/// TestOptions::max_iterations_per_batch per batch) — rejecting it keeps a
+/// hostile stream from growing the reorder buffer without bound.
+constexpr std::size_t kMaxPendingWindow = 1'000'000;
+
 /// One chip's protocol-side bookkeeping around its TuningSession.
 struct ChipSlot {
   explicit ChipSlot(TuningSession session) : session(std::move(session)) {}
   TuningSession session;
   std::size_t next_seq = 0;  ///< seq of the outstanding stimulus
   bool finished = false;
+  bool errored = false;  ///< abandoned by a lenient-mode bad frame
 };
 
 /// Shared emit/advance machinery of both server modes.
@@ -42,7 +51,7 @@ class Exchange {
  public:
   Exchange(const core::TunerService& service, std::size_t chips,
            std::ostream& out)
-      : out_(&out), unfinished_(chips) {
+      : out_(&out), unfinished_(chips), errors_(chips) {
     slots_.reserve(chips);
     for (std::size_t c = 0; c < chips; ++c) {
       slots_.emplace_back(service.begin_chip());
@@ -81,11 +90,30 @@ class Exchange {
     emit_next(c);
   }
 
+  /// Abandon an unfinished chip (lenient mode): emit an `error` line, mark
+  /// the chip done, and remember why. Its session is left mid-flight; its
+  /// report slot comes back default-constructed.
+  void abandon(std::size_t c, const std::string& reason) {
+    ChipSlot& s = slots_[c];
+    if (s.finished) return;
+    s.finished = true;
+    s.errored = true;
+    errors_[c] = reason;
+    --unfinished_;
+    *out_ << "error " << c << ' ' << reason << '\n';
+  }
+
   [[nodiscard]] std::vector<ChipReport> take_reports() {
     std::vector<ChipReport> reports;
     reports.reserve(slots_.size());
-    for (ChipSlot& s : slots_) reports.push_back(s.session.take_report());
+    for (ChipSlot& s : slots_) {
+      reports.push_back(s.errored ? ChipReport{} : s.session.take_report());
+    }
     return reports;
+  }
+
+  [[nodiscard]] std::vector<std::string> take_errors() {
+    return std::move(errors_);
   }
 
  private:
@@ -121,6 +149,7 @@ class Exchange {
   std::vector<ChipSlot> slots_;
   std::size_t unfinished_ = 0;
   std::size_t stimuli_ = 0;
+  std::vector<std::string> errors_;  ///< per chip; empty = clean
 };
 
 std::vector<bool> decode_bits(const std::string& bits) {
@@ -145,20 +174,36 @@ std::string encode_bits(const std::vector<bool>& pass) {
 
 }  // namespace
 
-TuneServer::TuneServer(const core::TunerService& service, std::size_t chips)
-    : service_(&service), chips_(chips) {}
+TuneServer::TuneServer(const core::TunerService& service, std::size_t chips,
+                       TuneServerOptions options)
+    : service_(&service), chips_(chips), options_(options) {}
 
 TuneServerResult TuneServer::run(std::istream& in, std::ostream& out) {
   Exchange exchange(*service_, chips_, out);
+  const bool lenient = options_.lenient;
+  // No legal response is ever wider than np (a final line carries one bit),
+  // so anything wider is rejected before it can occupy the reorder buffer.
+  const std::size_t max_bits =
+      std::max<std::size_t>(service_->problem().model().num_pairs(), 1);
+  TuneServerResult result;
 
   // Buffered out-of-order responses by (chip, seq).
   std::map<std::pair<std::size_t, std::size_t>, std::string> pending;
   std::string line;
   while (exchange.unfinished() > 0) {
     if (!std::getline(in, line)) {
-      throw std::runtime_error(
-          "tune: response stream ended with " +
-          std::to_string(exchange.unfinished()) + " chip(s) unfinished");
+      if (!lenient) {
+        throw std::runtime_error(
+            "tune: response stream ended with " +
+            std::to_string(exchange.unfinished()) + " chip(s) unfinished");
+      }
+      for (std::size_t c = 0; c < exchange.chips(); ++c) {
+        if (!exchange.slot(c).finished) {
+          exchange.abandon(
+              c, "tune: response stream ended before this chip finished");
+        }
+      }
+      break;
     }
     if (line.empty() || line[0] == '#') continue;
     std::istringstream is(line);
@@ -166,18 +211,54 @@ TuneServerResult TuneServer::run(std::istream& in, std::ostream& out) {
     std::size_t chip = 0, seq = 0;
     if (!(is >> tag) || tag != "response" || !(is >> chip >> seq >> bits) ||
         (is >> extra)) {
-      throw std::runtime_error("tune: malformed response line \"" + line +
-                               "\"");
+      if (!lenient) {
+        throw std::runtime_error("tune: malformed response line \"" + line +
+                                 "\"");
+      }
+      ++result.dropped_lines;  // attributable to no chip — drop it
+      continue;
     }
     if (chip >= exchange.chips()) {
-      throw std::runtime_error("tune: response for unknown chip " +
-                               std::to_string(chip));
+      if (!lenient) {
+        throw std::runtime_error("tune: response for unknown chip " +
+                                 std::to_string(chip));
+      }
+      ++result.dropped_lines;
+      continue;
     }
-    if (exchange.slot(chip).finished || seq < exchange.slot(chip).next_seq ||
+    // From here a bad frame is attributable: in lenient mode it abandons
+    // exactly this chip and the run keeps serving the others.
+    const auto bad_frame = [&](const std::string& reason) {
+      if (!lenient) throw std::runtime_error(reason);
+      exchange.abandon(chip, reason);
+    };
+    if (exchange.slot(chip).finished) {
+      if (!lenient) {
+        throw std::runtime_error("tune: duplicate/stale response for chip " +
+                                 std::to_string(chip) + " seq " +
+                                 std::to_string(seq));
+      }
+      ++result.dropped_lines;  // the chip's report (or error) already stands
+      continue;
+    }
+    if (bits.size() > max_bits) {
+      bad_frame("tune: response width " + std::to_string(bits.size()) +
+                " for chip " + std::to_string(chip) +
+                " exceeds the protocol maximum np=" +
+                std::to_string(max_bits));
+      continue;
+    }
+    if (seq >= exchange.slot(chip).next_seq + kMaxPendingWindow) {
+      bad_frame("tune: implausible sequence number " + std::to_string(seq) +
+                " for chip " + std::to_string(chip) + " (next expected " +
+                std::to_string(exchange.slot(chip).next_seq) + ")");
+      continue;
+    }
+    if (seq < exchange.slot(chip).next_seq ||
         !pending.emplace(std::make_pair(chip, seq), bits).second) {
-      throw std::runtime_error("tune: duplicate/stale response for chip " +
-                               std::to_string(chip) + " seq " +
-                               std::to_string(seq));
+      bad_frame("tune: duplicate/stale response for chip " +
+                std::to_string(chip) + " seq " + std::to_string(seq));
+      continue;
     }
     // Drain this chip's queue as far as buffered responses allow.
     while (!exchange.slot(chip).finished) {
@@ -185,25 +266,40 @@ TuneServerResult TuneServer::run(std::istream& in, std::ostream& out) {
           pending.find(std::make_pair(chip, exchange.slot(chip).next_seq));
       if (it == pending.end()) break;
       if (it->second.size() != exchange.expected_bits(chip)) {
-        throw std::runtime_error(
+        const std::string reason =
             "tune: response width " + std::to_string(it->second.size()) +
             " does not match stimulus for chip " + std::to_string(chip) +
-            " seq " + std::to_string(it->first.second));
+            " seq " + std::to_string(it->first.second);
+        pending.erase(it);
+        bad_frame(reason);
+        break;
       }
-      const std::vector<bool> pass = decode_bits(it->second);
+      std::vector<bool> pass;
+      try {
+        pass = decode_bits(it->second);
+      } catch (const std::runtime_error& e) {
+        if (!lenient) throw;
+        pending.erase(it);
+        exchange.abandon(chip, e.what());
+        break;
+      }
       pending.erase(it);
       exchange.apply(chip, pass);
     }
   }
   if (!pending.empty()) {
-    throw std::runtime_error(
-        "tune: " + std::to_string(pending.size()) +
-        " response(s) reference stimuli that were never issued");
+    if (!lenient) {
+      throw std::runtime_error(
+          "tune: " + std::to_string(pending.size()) +
+          " response(s) reference stimuli that were never issued");
+    }
+    // Leftovers can only reference finished/abandoned chips here.
+    result.dropped_lines += pending.size();
   }
   out << "bye\n";
-  TuneServerResult result;
   result.stimuli = exchange.stimuli();
   result.reports = exchange.take_reports();
+  result.errors = exchange.take_errors();
   return result;
 }
 
@@ -251,6 +347,7 @@ TuneServerResult TuneServer::run_simulated(std::ostream& out,
   TuneServerResult result;
   result.stimuli = exchange.stimuli();
   result.reports = exchange.take_reports();
+  result.errors = exchange.take_errors();
   return result;
 }
 

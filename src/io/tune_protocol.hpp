@@ -26,30 +26,61 @@
 // soon as it is available. Sessions are pure functions of their responses
 // (core/tuner_service.hpp), so the reports are identical for every legal
 // ordering of the same response set.
+//
+// Malformed input (strict mode, the default): the first bad line aborts
+// the whole run with std::runtime_error. In lenient mode
+// (TuneServerOptions::lenient — `effitest_cli tune --lenient`) a bad frame
+// attributable to one chip (bad width, bad bits, duplicate/stale seq,
+// implausible seq) abandons only that chip: the server emits
+//
+//   error <chip> <reason>
+//
+// and keeps serving every other chip, whose reports stay byte-identical
+// to an undisturbed run (TuneServerResult::errors says which chips died
+// and why). Unattributable garbage — an unparseable line, an out-of-range
+// chip id, a response for an already-finished chip — is dropped and
+// counted in TuneServerResult::dropped_lines. Two bounds hold in both
+// modes (fuzz-driven hardening): a response wider than np is rejected
+// before buffering, and a sequence number more than 10^6 ahead of the
+// chip's next expected one is rejected as implausible, so hostile input
+// cannot grow the out-of-order buffer without bound.
 
 #include <cstddef>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "core/tuner_service.hpp"
 
 namespace effitest::io {
 
+struct TuneServerOptions {
+  /// Abandon individual chips on attributable bad frames instead of
+  /// aborting the whole run (see the protocol comment above).
+  bool lenient = false;
+};
+
 struct TuneServerResult {
   std::vector<core::ChipReport> reports;  ///< one per chip, in chip order
   std::size_t stimuli = 0;  ///< stimulus + final lines emitted
+  /// Per chip: empty = tuned cleanly, otherwise the reason the chip was
+  /// abandoned (lenient mode only; its report slot is default-constructed).
+  std::vector<std::string> errors;
+  /// Unattributable input lines dropped in lenient mode.
+  std::size_t dropped_lines = 0;
 };
 
 /// Streams `chips` per-chip TuningSessions of one shared TunerService over
 /// the protocol above. The service must outlive the server.
 class TuneServer {
  public:
-  TuneServer(const core::TunerService& service, std::size_t chips);
+  TuneServer(const core::TunerService& service, std::size_t chips,
+             TuneServerOptions options = {});
 
   /// Interactive / replay mode: emit stimuli on `out`, consume `response`
   /// lines from `in` (stdin, a pipe, or a replayed — possibly shuffled —
   /// log). Throws std::runtime_error on malformed input or when the
-  /// stream ends with chips unfinished.
+  /// stream ends with chips unfinished — unless lenient (see above).
   [[nodiscard]] TuneServerResult run(std::istream& in, std::ostream& out);
 
   /// Self-driving mode: every chip is a simulated die sampled exactly like
@@ -64,6 +95,7 @@ class TuneServer {
  private:
   const core::TunerService* service_;
   std::size_t chips_;
+  TuneServerOptions options_;
 };
 
 }  // namespace effitest::io

@@ -85,8 +85,11 @@ Netlist parse_bench(std::istream& in, std::string name) {
     const std::string text = strip(line);
     if (text.empty()) continue;
 
+    // First ')' on purpose: a legal line has exactly one, and anything
+    // after it (e.g. two directives merged onto one line) must trip the
+    // trailing-text check below instead of being swallowed into a name.
     const std::size_t open = text.find('(');
-    const std::size_t close = text.rfind(')');
+    const std::size_t close = text.find(')');
     const std::size_t eq = text.find('=');
 
     if (eq == std::string::npos) {
@@ -94,11 +97,18 @@ Netlist parse_bench(std::istream& in, std::string name) {
       if (open == std::string::npos || close == std::string::npos || close < open) {
         throw BenchParseError(line_no, "expected TYPE(name)");
       }
+      if (!strip(text.substr(close + 1)).empty()) {
+        // Silently dropping trailing junk would mask a mangled file.
+        throw BenchParseError(line_no, "unexpected text after ')'");
+      }
       const std::string kw = strip(text.substr(0, open));
       const std::string arg = strip(text.substr(open + 1, close - open - 1));
       if (arg.empty()) throw BenchParseError(line_no, "empty name");
       const auto type = cell_type_from_token(kw);
       if (type == CellType::kInput) {
+        if (nl.find(arg) >= 0) {
+          throw BenchParseError(line_no, "duplicate definition of " + arg);
+        }
         nl.add_cell(arg, CellType::kInput);
       } else if (type == CellType::kOutput) {
         outputs.push_back(arg);
@@ -108,11 +118,20 @@ Netlist parse_bench(std::istream& in, std::string name) {
       continue;
     }
 
-    // name = TYPE(a, b, ...)
-    if (open == std::string::npos || close == std::string::npos || open < eq) {
+    // name = TYPE(a, b, ...). close < open (e.g. "a = )AND(b") would make
+    // the substr lengths below wrap around — reject it like any other
+    // malformed shape.
+    if (open == std::string::npos || close == std::string::npos ||
+        open < eq || close < open) {
       throw BenchParseError(line_no, "expected name = TYPE(args)");
     }
+    if (!strip(text.substr(close + 1)).empty()) {
+      throw BenchParseError(line_no, "unexpected text after ')'");
+    }
     const std::string lhs = strip(text.substr(0, eq));
+    if (lhs.empty()) {
+      throw BenchParseError(line_no, "missing signal name before '='");
+    }
     const std::string type_tok = strip(text.substr(eq + 1, open - eq - 1));
     const auto type = cell_type_from_token(type_tok);
     if (!type || !(*type == CellType::kDff || is_combinational(*type))) {

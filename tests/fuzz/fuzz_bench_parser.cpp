@@ -1,0 +1,26 @@
+// Fuzz target: the ISCAS89 .bench parser. Any byte sequence must either
+// parse into a valid netlist or raise a structured error (BenchParseError
+// for line-annotated syntax faults, NetlistError for post-parse
+// validation) — never crash, hang, or silently mis-parse. Findings so far
+// are pinned in
+// tests/netlist/bench_parser_test.cpp and corpora/bench/.
+
+#include <string>
+
+#include "fuzz_driver.hpp"
+#include "netlist/bench_parser.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // The parser is line-oriented with no cross-line state worth exploring
+  // at megabyte scale; capping keeps the fuzzer in interesting territory.
+  if (size > (1u << 20)) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)effitest::netlist::parse_bench_string(text, "fuzz");
+  } catch (const effitest::netlist::BenchParseError&) {
+    // Structured rejection is the expected outcome for malformed input.
+  } catch (const effitest::netlist::NetlistError&) {
+    // Post-parse validation failures (cycles, arity) are structured too.
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+#pragma once
+// Shared entry point for the parser fuzz targets. Each target defines
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// and gets a `main` in one of two ways:
+//
+//  - Default (no macro): this header supplies a standalone corpus-replay
+//    main() that feeds every file named on the command line (directories
+//    recurse, entries sorted for a deterministic order) through the target
+//    once. That is what `ctest -L fuzz` runs — it needs no special
+//    compiler, so the replay regression tests work with plain gcc and
+//    under any sanitizer.
+//
+//  - EFFITEST_LIBFUZZER (set by -DEFFITEST_FUZZERS=ON, clang only): no
+//    main() is emitted here; libFuzzer's own driver takes over and the
+//    binary becomes a coverage-guided fuzzer (`fuzz_x corpus/ -max_total_time=60`).
+//
+// Crash-regression inputs fuzzing surfaces belong in tests/fuzz/corpora/
+// so the replay mode pins them forever.
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#ifndef EFFITEST_LIBFUZZER
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+namespace effitest::fuzz {
+
+inline bool replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "fuzz replay: cannot open " << path << '\n';
+    return false;
+  }
+  const std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  (void)LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  return true;
+}
+
+inline int replay_main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    if (fs::is_directory(arg)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: " << (argc > 0 ? argv[0] : "fuzz_target")
+              << " <corpus file or directory>...\n";
+    return 2;
+  }
+  std::sort(inputs.begin(), inputs.end());
+  int failures = 0;
+  for (const fs::path& p : inputs) {
+    if (!replay_file(p)) ++failures;
+  }
+  std::cout << "replayed " << (inputs.size() - failures) << '/'
+            << inputs.size() << " corpus input(s)\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace effitest::fuzz
+
+int main(int argc, char** argv) {
+  return effitest::fuzz::replay_main(argc, argv);
+}
+
+#endif  // EFFITEST_LIBFUZZER

@@ -1,0 +1,22 @@
+// Fuzz target: the campaign scenario JSON parser. Any byte sequence must
+// either load into a Scenario or raise ScenarioError — never crash or
+// overflow the stack (the shared json::Parser bounds nesting at 64
+// levels; corpora/scenario/deep_nesting.json pins that). Parsing only
+// registers circuit specs — catalog resolution is lazy — so a hostile
+// generator spec cannot make the target allocate a huge circuit.
+
+#include <string>
+
+#include "fuzz_driver.hpp"
+#include "io/scenario_json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)effitest::io::parse_scenario(text, "fuzz");
+  } catch (const effitest::io::ScenarioError&) {
+    // Structured rejection is the expected outcome for malformed input.
+  }
+  return 0;
+}

@@ -179,6 +179,68 @@ TEST(BenchParser, CrlfPlacementSidecarParses) {
   EXPECT_DOUBLE_EQ(nl.cell(nl.find("a")).position.y, 0.75);
 }
 
+// Fuzz-found defects, pinned. Each case used to be accepted silently (or
+// rejected without a line number) before the corpus-replay fuzz harness
+// (tests/fuzz/fuzz_bench_parser) surfaced it.
+
+TEST(BenchParser, ReversedParensAreRejectedNotMisparsed) {
+  // close < open made the substr length wrap: "a = )AND(b" parsed the
+  // argument list from the wrong slice instead of erroring.
+  try {
+    (void)parse_bench_string("INPUT(b)\na = )AND(b\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line_number, 2u);
+    EXPECT_NE(std::string(e.what()).find("expected name = TYPE(args)"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BenchParser, EmptyLhsCarriesLineNumber) {
+  // "= AND(a,b)" produced a nameless cell and failed later with a generic
+  // NetlistError; now the parse rejects it where it happens.
+  try {
+    (void)parse_bench_string("INPUT(a)\nINPUT(b)\n= AND(a, b)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line_number, 3u);
+    EXPECT_NE(std::string(e.what()).find("missing signal name"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BenchParser, TrailingTextAfterCloseParenIsRejected) {
+  // Trailing junk was silently dropped — a mangled (e.g. line-merged) file
+  // parsed as if nothing were wrong.
+  EXPECT_THROW((void)parse_bench_string("INPUT(a) INPUT(b)\n"),
+               BenchParseError);
+  try {
+    (void)parse_bench_string("INPUT(a)\nx = NOT(a) junk\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line_number, 2u);
+    EXPECT_NE(std::string(e.what()).find("unexpected text after ')'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BenchParser, DuplicateInputCarriesLineNumber) {
+  // A repeated INPUT(a) hit Netlist::add_cell's generic duplicate error
+  // with no line info; the parser now reports it like any gate duplicate.
+  try {
+    (void)parse_bench_string("INPUT(a)\nINPUT(a)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    EXPECT_EQ(e.line_number, 2u);
+    EXPECT_NE(std::string(e.what()).find("duplicate definition of a"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 // Robustness sweep: mangled inputs must raise a structured error (never
 // crash or silently mis-parse).
 class BenchParserFuzzTest : public ::testing::TestWithParam<const char*> {};

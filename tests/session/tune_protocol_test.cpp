@@ -185,5 +185,140 @@ TEST(TuneProtocol, MalformedAndForeignResponsesFailCleanly) {
   EXPECT_THROW((void)run_with("response 0 0 2xy\n"), std::runtime_error);
 }
 
+// --- fuzz-driven hardening (strict mode) ----------------------------------
+
+TEST(TuneProtocol, OversizedResponseWidthIsRejectedBeforeBuffering) {
+  // A response wider than np can never match any stimulus; it must be
+  // rejected up front, not parked in the reorder buffer (regression for a
+  // fuzz finding: huge <bits> fields buffered under far-future seqs grew
+  // memory without bound).
+  Fixture f;
+  const core::TunerService service(f.problem, f.options);
+  const std::size_t np = f.problem.model().num_pairs();
+  std::istringstream in("response 0 5 " + std::string(np + 1, '1') + "\n");
+  std::ostringstream out;
+  try {
+    (void)TuneServer(service, 1).run(in, out);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds the protocol maximum"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TuneProtocol, ImplausibleSequenceNumberIsRejected) {
+  // Same fuzz finding, other axis: a seq far beyond the next expected one
+  // (e.g. a wrapped negative) must be rejected, not buffered forever.
+  Fixture f;
+  const core::TunerService service(f.problem, f.options);
+  std::istringstream in("response 0 987654321 1\n");
+  std::ostringstream out;
+  try {
+    (void)TuneServer(service, 1).run(in, out);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible sequence number"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// --- lenient mode ---------------------------------------------------------
+
+TEST(TuneProtocol, LenientBadFrameKillsOnlyThatChip) {
+  // A malformed frame attributable to one chip abandons that chip alone:
+  // every sibling's report stays byte-identical to an undisturbed run.
+  Fixture f;
+  const core::TunerService service(f.problem, f.options);
+  constexpr std::size_t kChips = 3;
+
+  std::ostringstream protocol, log;
+  const TuneServerResult clean =
+      TuneServer(service, kChips).run_simulated(protocol, &log);
+
+  // Widen the bits of chip 1's first response: a width mismatch.
+  std::vector<std::string> responses = lines_of(log.str());
+  bool corrupted = false;
+  for (std::string& line : responses) {
+    if (!corrupted && line.rfind("response 1 ", 0) == 0) {
+      line += "0";
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+
+  TuneServerOptions lenient;
+  lenient.lenient = true;
+  std::istringstream replay(join_lines(responses));
+  std::ostringstream out;
+  const TuneServerResult result =
+      TuneServer(service, kChips, lenient).run(replay, out);
+
+  ASSERT_EQ(result.errors.size(), kChips);
+  EXPECT_TRUE(result.errors[0].empty());
+  EXPECT_FALSE(result.errors[1].empty());
+  EXPECT_TRUE(result.errors[2].empty());
+  expect_reports_equal(result.reports[0], clean.reports[0]);
+  expect_reports_equal(result.reports[2], clean.reports[2]);
+  // The abandoned chip's report slot is default-constructed.
+  EXPECT_FALSE(result.reports[1].passed.has_value());
+  EXPECT_EQ(result.reports[1].test.iterations, 0u);
+  // The stream announced the abandonment.
+  EXPECT_NE(out.str().find("error 1 "), std::string::npos);
+}
+
+TEST(TuneProtocol, LenientDropsUnattributableGarbage) {
+  // Unparseable lines and out-of-range chip ids belong to no session:
+  // lenient mode drops and counts them, and every chip still tunes to the
+  // clean-run reports.
+  Fixture f;
+  const core::TunerService service(f.problem, f.options);
+  constexpr std::size_t kChips = 2;
+
+  std::ostringstream protocol, log;
+  const TuneServerResult clean =
+      TuneServer(service, kChips).run_simulated(protocol, &log);
+
+  std::string noisy = "total garbage !!\nresponse 99 0 1\n" + log.str();
+  TuneServerOptions lenient;
+  lenient.lenient = true;
+  std::istringstream replay(noisy);
+  std::ostringstream out;
+  const TuneServerResult result =
+      TuneServer(service, kChips, lenient).run(replay, out);
+
+  EXPECT_EQ(result.dropped_lines, 2u);
+  ASSERT_EQ(result.errors.size(), kChips);
+  for (std::size_t c = 0; c < kChips; ++c) {
+    EXPECT_TRUE(result.errors[c].empty()) << c;
+    expect_reports_equal(result.reports[c], clean.reports[c]);
+  }
+}
+
+TEST(TuneProtocol, LenientTruncatedStreamErrorsUnfinishedChipsOnly) {
+  Fixture f;
+  const core::TunerService service(f.problem, f.options);
+  std::ostringstream protocol, log;
+  (void)TuneServer(service, 2).run_simulated(protocol, &log);
+
+  // Keep only chip 0's responses: chip 1 starves and is abandoned at EOF;
+  // chip 0 finishes normally.
+  std::vector<std::string> responses;
+  for (const std::string& line : lines_of(log.str())) {
+    if (line.rfind("response 0 ", 0) == 0) responses.push_back(line);
+  }
+  TuneServerOptions lenient;
+  lenient.lenient = true;
+  std::istringstream replay(join_lines(responses));
+  std::ostringstream out;
+  const TuneServerResult result =
+      TuneServer(service, 2, lenient).run(replay, out);
+  ASSERT_EQ(result.errors.size(), 2u);
+  EXPECT_TRUE(result.errors[0].empty());
+  EXPECT_FALSE(result.errors[1].empty());
+  EXPECT_NE(result.errors[1].find("stream ended"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace effitest::io

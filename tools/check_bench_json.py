@@ -32,9 +32,18 @@ Baseline format (bench/baselines/s9234.json):
       }
     }
 
+3. Equivalence check (--diff A B): both reports must carry the same bench
+   name and the same record sequence — circuit, metric and value compared
+   EXACTLY (values are bit-identical doubles by the determinism contract,
+   so no tolerance) — ignoring only wall_seconds, git_sha and threads,
+   the fields allowed to differ between runs. This is how CI proves a
+   checkpoint-resumed campaign reproduces the uninterrupted run
+   (`effitest_cli campaign --checkpoint ... --resume`).
+
 Usage:
     check_bench_json.py [--baseline FILE ...] [--baselines-dir DIR]
                         BENCH_foo.json [BENCH_bar.json ...]
+    check_bench_json.py --diff BENCH_full.json BENCH_resumed.json
 
 Exit status: 0 = all checks passed, 1 = violation, 2 = usage error.
 """
@@ -158,9 +167,48 @@ def check_baseline(baseline_path: str, docs: list[dict]) -> None:
             print(f"OK: {metric}={value} within {expected} +/- {tol}")
 
 
+def load_report(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: {exc}")
+    return validate_schema(path, doc)
+
+
+def diff_reports(path_a: str, path_b: str) -> None:
+    """Exact-equivalence check, ignoring wall_seconds/git_sha/threads."""
+    a, b = load_report(path_a), load_report(path_b)
+    if a["bench"] != b["bench"]:
+        fail(f"bench name differs: {a['bench']!r} vs {b['bench']!r}")
+    ra, rb = a["records"], b["records"]
+    if len(ra) != len(rb):
+        fail(f"record count differs: {len(ra)} ({path_a}) vs {len(rb)} ({path_b})")
+    for i, (x, y) in enumerate(zip(ra, rb)):
+        for key in ("circuit", "metric", "value"):
+            if x[key] != y[key]:
+                fail(
+                    f"records[{i}].{key} differs: {x[key]!r} ({path_a}) vs "
+                    f"{y[key]!r} ({path_b}) "
+                    f"[{x['circuit']}/{x['metric']} vs {y['circuit']}/{y['metric']}]"
+                )
+    print(
+        f"OK: {path_a} and {path_b} are equivalent "
+        f"({len(ra)} records, wall_seconds/git_sha/threads ignored)"
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("files", nargs="+", help="BENCH_*.json reports")
+    parser.add_argument("files", nargs="*", help="BENCH_*.json reports")
+    parser.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("A", "B"),
+        help="compare two reports for exact equivalence (only "
+        "wall_seconds/git_sha/threads may differ); used by the CI "
+        "checkpoint-resume smoke",
+    )
     parser.add_argument(
         "--baseline",
         action="append",
@@ -175,14 +223,15 @@ def main() -> None:
     )
     args = parser.parse_args()
 
-    docs = []
-    for path in args.files:
-        try:
-            with open(path, encoding="utf-8") as f:
-                doc = json.load(f)
-        except (OSError, json.JSONDecodeError) as exc:
-            fail(f"{path}: {exc}")
-        docs.append(validate_schema(path, doc))
+    if args.diff:
+        if args.files or args.baseline or args.baselines_dir:
+            parser.error("--diff takes exactly two reports and no other checks")
+        diff_reports(*args.diff)
+        return
+    if not args.files:
+        parser.error("no reports given")
+
+    docs = [load_report(path) for path in args.files]
 
     baselines = list(args.baseline)
     if args.baselines_dir:

@@ -16,7 +16,8 @@
 //             Run the full EffiTest flow and print the metrics.
 //   campaign  --spec=file.json | [--circuits=a,b,...]
 //             [--quantiles=q1,q2,...] [--chips=N] [--seed=S] [--threads=N]
-//             [--inflation=k] [--json=file]
+//             [--inflation=k] [--json=file] [--checkpoint=file [--resume]]
+//             [--stop-after=K]
 //             Fan whole-circuit / T_d-sweep jobs out across all cores with
 //             FlowArtifacts reuse (Table 1/2-style multi-circuit runs from
 //             one invocation). With --spec, circuits/quantiles/periods and
@@ -24,16 +25,27 @@
 //             (io/scenario_json.hpp) whose catalog can mix paper,
 //             .bench-imported, scaled and inline-generated circuits;
 //             explicit CLI options still override the spec's knobs.
+//             --checkpoint persists every finished job to an
+//             effitest-checkpoint-v1 file (atomically, after each job);
+//             --resume loads it back, skips the finished jobs, and — the
+//             whole campaign being deterministically seeded per job —
+//             produces results bit-identical to an uninterrupted run.
+//             --stop-after=K stops cleanly after K pending jobs (exit 3
+//             when jobs remain), which makes kill/resume testable at
+//             every job boundary.
 //   circuits  [--spec=file.json]
 //             List the circuit catalog (paper registry, or the spec's).
 //   tune      --bench=... [--buffers=N] | --circuit=<name>
 //             [--chips=N] [--seed=S] [--td=ps] [--quantile=q] [--threads=N]
-//             [--simulate] [--log=file] [--responses=file]
+//             [--simulate] [--lenient] [--log=file] [--responses=file]
 //             Stream per-chip TuningSessions over the line-oriented
 //             stimulus/response protocol (src/io/tune_protocol.hpp):
 //             stimuli on stdout, responses from stdin — or from a replayed
 //             (possibly shuffled) --responses log, or self-answered with
 //             --simulate (writing the would-be tester responses to --log).
+//             --lenient survives malformed frames: a bad frame abandons
+//             only the chip it names (`error <chip> <reason>` on stdout);
+//             unattributable garbage is dropped and counted.
 //
 // Unknown options, unknown flags and stray positional arguments are
 // rejected with a clear error (exit code 2) — a typo like --chip=200 must
@@ -50,6 +62,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -60,6 +73,7 @@
 #include "core/table.hpp"
 #include "core/tuner_service.hpp"
 #include "io/bench_json.hpp"
+#include "io/checkpoint_json.hpp"
 #include "io/scenario_json.hpp"
 #include "io/tune_protocol.hpp"
 #include "netlist/bench_writer.hpp"
@@ -150,22 +164,23 @@ const std::map<std::string, CommandSpec>& command_specs() {
         "         [--json=file]"}},
       {"campaign",
        {{"spec", "circuits", "quantiles", "chips", "seed", "threads",
-         "inflation", "json"},
-        {},
+         "inflation", "json", "checkpoint", "stop-after"},
+        {"resume"},
         "campaign --spec=file.json | [--circuits=a,b,...] "
         "[--quantiles=q1,q2,...]\n"
         "         [--chips=N] [--seed=S] [--threads=N] [--inflation=k]\n"
-        "         [--json=file]"}},
+        "         [--json=file] [--checkpoint=file [--resume]] "
+        "[--stop-after=K]"}},
       {"circuits",
        {{"spec"}, {}, "circuits [--spec=file.json]"}},
       {"tune",
        {{"bench", "buffers", "policy", "circuit", "chips", "td", "quantile",
          "seed", "threads", "log", "responses"},
-        {"simulate"},
+        {"simulate", "lenient"},
         "tune     --bench=file [--buffers=N] [--policy=p] | "
         "--circuit=<name>\n"
         "         [--chips=N] [--td=ps] [--quantile=q] [--seed=S]\n"
-        "         [--threads=N] [--simulate] [--log=file] "
+        "         [--threads=N] [--simulate] [--lenient] [--log=file] "
         "[--responses=file]"}},
   };
   return specs;
@@ -503,11 +518,56 @@ int cmd_campaign(const Cli& cli) {
     jobs = core::CampaignRunner::cross(circuits, quantiles);
   }
 
+  // Checkpoint/resume plumbing (io/checkpoint_json.hpp). The identity hash
+  // covers the result-affecting options and the full job list, so a
+  // checkpoint from a different campaign is rejected before anything runs.
+  const auto checkpoint_path = cli.get("checkpoint");
+  const bool resume = cli.has_flag("resume");
+  if (resume && !checkpoint_path) {
+    std::cerr << "error: campaign: --resume needs --checkpoint=<file>\n";
+    return 2;
+  }
+  if (const auto stop = cli.get("stop-after")) {
+    copts.max_jobs = std::stoul(*stop);
+    if (copts.max_jobs == 0) {
+      std::cerr << "error: campaign: --stop-after must be at least 1\n";
+      return 2;
+    }
+  }
+  std::unique_ptr<io::CheckpointWriter> writer;
+  if (checkpoint_path) {
+    const std::string identity = io::campaign_identity(jobs, copts);
+    if (resume) {
+      io::CampaignCheckpoint loaded =
+          io::load_campaign_checkpoint(*checkpoint_path);
+      io::validate_campaign_checkpoint(loaded, identity, jobs.size(),
+                                       *checkpoint_path);
+      std::cout << "resuming " << *checkpoint_path << ": "
+                << loaded.completed.size() << "/" << jobs.size()
+                << " job(s) already done\n";
+      copts.completed = std::move(loaded.completed);
+    } else if (std::ifstream(*checkpoint_path).good()) {
+      // Never clobber a checkpoint silently: it may belong to a run the
+      // user meant to resume.
+      std::cerr << "error: campaign: checkpoint " << *checkpoint_path
+                << " already exists; pass --resume to continue it or remove "
+                   "it first\n";
+      return 2;
+    }
+    writer = std::make_unique<io::CheckpointWriter>(
+        *checkpoint_path, identity, jobs.size(), copts.completed);
+    copts.on_job_complete = [&writer](std::size_t index,
+                                      const core::CampaignJobResult& r) {
+      writer->record(index, r);
+    };
+  }
+
   const core::CampaignResult result = core::CampaignRunner(copts).run(jobs);
 
   core::Table t({"circuit", "q", "Td(ps)", "np", "npt", "ta", "ra(%)",
                  "yt(%)", "yi(%)", "y0(%)", "job(s)"});
   for (const core::CampaignJobResult& r : result.jobs) {
+    if (!r.completed) continue;  // left pending by --stop-after
     const core::FlowMetrics& m = r.metrics;
     t.add_row({
         r.job.circuit,
@@ -526,17 +586,19 @@ int cmd_campaign(const Cli& cli) {
     });
   }
   t.print(std::cout);
+  const std::size_t done = result.completed_jobs();
   double job_seconds = 0.0;
   for (const core::CampaignJobResult& r : result.jobs) job_seconds += r.seconds;
   std::cout << "\ncampaign wall time: "
-            << core::Table::num(result.total_seconds, 2) << " s ("
-            << result.jobs.size() << " jobs, "
+            << core::Table::num(result.total_seconds, 2) << " s (" << done
+            << "/" << result.jobs.size() << " jobs, "
             << core::Table::num(job_seconds, 2)
             << " s of job time; artifacts reused within circuits)\n";
 
   if (const auto json_path = cli.get("json")) {
     io::JsonReporter json("campaign", copts.threads);
     for (const core::CampaignJobResult& r : result.jobs) {
+      if (!r.completed) continue;
       const core::FlowMetrics& m = r.metrics;
       // One label per (circuit, quantile/period) so sweep jobs stay
       // distinct.
@@ -562,6 +624,16 @@ int cmd_campaign(const Cli& cli) {
     }
     std::cout << "machine-readable output: " << json.write_file(*json_path)
               << '\n';
+  }
+  if (done < result.jobs.size()) {
+    std::cout << "campaign stopped after " << done << "/" << result.jobs.size()
+              << " job(s)";
+    if (checkpoint_path) {
+      std::cout << " — resume with --checkpoint=" << *checkpoint_path
+                << " --resume";
+    }
+    std::cout << '\n';
+    return 3;  // distinct from success (0) and usage/runtime errors (2/1)
   }
   return 0;
 }
@@ -610,7 +682,9 @@ int cmd_tune(const Cli& cli) {
   // The shared-ownership constructor: the service keeps the provisioned
   // bundle alive for every session it mints.
   const core::TunerService service(circuit, opts);
-  io::TuneServer server(service, chips);
+  io::TuneServerOptions topts;
+  topts.lenient = cli.has_flag("lenient");
+  io::TuneServer server(service, chips, topts);
 
   io::TuneServerResult result;
   if (cli.has_flag("simulate")) {
@@ -639,10 +713,21 @@ int cmd_tune(const Cli& cli) {
   for (const core::ChipReport& r : result.reports) {
     if (r.passed.value_or(false)) ++passed;
   }
-  std::cerr << "tuned " << result.reports.size() << " chip(s), "
+  std::size_t errored = 0;
+  for (std::size_t c = 0; c < result.errors.size(); ++c) {
+    if (result.errors[c].empty()) continue;
+    ++errored;
+    std::cerr << "chip " << c << " abandoned: " << result.errors[c] << '\n';
+  }
+  std::cerr << "tuned " << result.reports.size() - errored << " chip(s), "
             << result.stimuli << " tester iterations, " << passed
             << " passed at Td="
-            << core::Table::num(service.designated_period(), 2) << " ps\n";
+            << core::Table::num(service.designated_period(), 2) << " ps";
+  if (errored > 0 || result.dropped_lines > 0) {
+    std::cerr << " (" << errored << " chip(s) abandoned, "
+              << result.dropped_lines << " line(s) dropped)";
+  }
+  std::cerr << '\n';
   return 0;
 }
 
@@ -670,6 +755,10 @@ int main(int argc, char** argv) {
     return 2;
   } catch (const io::ScenarioError& e) {
     // A malformed scenario spec is a usage error, same as a bad option.
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  } catch (const io::CheckpointError& e) {
+    // Corrupt or mismatched checkpoints are bad inputs, not crashes.
     std::cerr << "error: " << e.what() << '\n';
     return 2;
   } catch (const std::exception& e) {
