@@ -1,0 +1,150 @@
+// bench_serve — throughput and latency of the TCP serve mode
+// (src/net/serve.hpp) under N concurrent in-process loopback clients.
+//
+// One TuneServeLoop on an ephemeral 127.0.0.1 port serves
+// clients × sessions-per-client whole tuning sessions of --chips dies
+// each; every client thread runs net::run_loopback_client back to back
+// and verifies it got one report line per chip. The serve metrics
+// (sessions/sec, per-session latency p50/p90/p99) land in
+// BENCH_serve.json (effitest-bench-v1, validated by
+// tools/check_bench_json.py against bench/baselines/serve.json).
+//
+//   --clients=N    concurrent client threads        (default 8)
+//   --sessions=N   sessions each client runs        (default 8)
+//   --chips=N      dies per session                 (default 4)
+//   --workers=N    serve-loop worker threads        (default 8)
+//   plus the shared --circuits/--seed of bench_common.hpp (first circuit
+//   only; default s9234).
+//
+// stimuli_per_session is deterministic for fixed (circuit, seed, chips) —
+// the sessions replay the same dies — so the baseline gates it exactly;
+// sessions_per_sec is wall-clock and gated loosely.
+
+#include <atomic>
+#include <cstddef>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/tuner_service.hpp"
+#include "io/bench_json.hpp"
+#include "net/client.hpp"
+#include "net/serve.hpp"
+
+namespace {
+
+using namespace effitest;
+
+struct ServeBenchArgs {
+  std::size_t clients = 8;
+  std::size_t sessions = 8;
+  std::size_t chips = 4;
+  std::size_t workers = 8;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // bench_common's parser warns on the serve-specific options; strip them
+  // first and hand it the rest.
+  ServeBenchArgs sargs;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--clients=", 0) == 0) {
+      sargs.clients = std::stoul(a.substr(10));
+    } else if (a.rfind("--sessions=", 0) == 0) {
+      sargs.sessions = std::stoul(a.substr(11));
+    } else if (a.rfind("--workers=", 0) == 0) {
+      sargs.workers = std::stoul(a.substr(10));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  bench::BenchArgs args =
+      bench::parse_args(static_cast<int>(passthrough.size()),
+                        passthrough.data());
+  if (args.chips != 0) sargs.chips = args.chips;
+  if (args.circuits.empty()) args.circuits = {"s9234"};
+
+  const netlist::GeneratorSpec spec =
+      netlist::paper_benchmark_spec(args.circuits.front());
+  const bench::Instance instance(spec);
+  core::FlowOptions fopts;
+  fopts.seed = args.seed;
+  fopts.threads = 1;  // the serve loop provides the parallelism here
+  const core::TunerService service(instance.problem, fopts);
+
+  net::ServeOptions sopts;
+  sopts.workers = sargs.workers;
+  sopts.io_timeout_seconds = 60.0;
+  net::TuneServeLoop loop(service, sopts);
+  loop.start();
+  std::cout << "bench_serve: " << spec.name << ", " << sargs.clients
+            << " clients x " << sargs.sessions << " sessions x "
+            << sargs.chips << " chips, " << sargs.workers << " workers on "
+            << loop.host() << ":" << loop.port() << "\n";
+
+  std::atomic<std::size_t> bad_sessions{0};
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(sargs.clients);
+    for (std::size_t i = 0; i < sargs.clients; ++i) {
+      clients.emplace_back([&] {
+        for (std::size_t s = 0; s < sargs.sessions; ++s) {
+          net::ClientOptions copts;
+          copts.chips = sargs.chips;
+          try {
+            const net::ClientResult r = net::run_loopback_client(
+                "127.0.0.1", loop.port(), instance.problem, copts);
+            if (r.report_lines.size() != sargs.chips) {
+              bad_sessions.fetch_add(1);
+            }
+          } catch (const std::exception& e) {
+            bad_sessions.fetch_add(1);
+            std::cerr << "client session failed: " << e.what() << "\n";
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  loop.request_drain();
+  loop.wait();
+
+  const net::ServeMetricsSnapshot m = loop.metrics();
+  const std::size_t expected = sargs.clients * sargs.sessions;
+  if (bad_sessions.load() != 0 || m.sessions_completed != expected) {
+    std::cerr << "bench_serve: " << bad_sessions.load()
+              << " bad session(s), " << m.sessions_completed << "/"
+              << expected << " completed — not recording\n";
+    return 1;
+  }
+
+  core::Table t({"metric", "value"});
+  t.add_row({"sessions", core::Table::num(double(m.sessions_completed), 0)});
+  t.add_row({"sessions/s", core::Table::num(m.sessions_per_sec, 1)});
+  t.add_row({"stimuli/session",
+             core::Table::num(double(m.stimuli) /
+                                  double(m.sessions_completed),
+                              2)});
+  t.add_row({"latency p50 (ms)", core::Table::num(m.latency_p50 * 1e3, 3)});
+  t.add_row({"latency p90 (ms)", core::Table::num(m.latency_p90 * 1e3, 3)});
+  t.add_row({"latency p99 (ms)", core::Table::num(m.latency_p99 * 1e3, 3)});
+  t.print(std::cout);
+
+  io::JsonReporter json("serve", sargs.workers);
+  const std::string circuit = spec.name;
+  json.add(circuit, "sessions_per_sec", m.sessions_per_sec, m.wall_seconds);
+  json.add(circuit, "stimuli_per_session",
+           double(m.stimuli) / double(m.sessions_completed), m.wall_seconds);
+  json.add(circuit, "chips_tuned", double(m.chips_tuned), m.wall_seconds);
+  json.add(circuit, "latency_p50_ms", m.latency_p50 * 1e3, m.wall_seconds);
+  json.add(circuit, "latency_p90_ms", m.latency_p90 * 1e3, m.wall_seconds);
+  json.add(circuit, "latency_p99_ms", m.latency_p99 * 1e3, m.wall_seconds);
+  json.write(".");
+  return 0;
+}

@@ -1,8 +1,13 @@
 #include "io/checkpoint_json.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -222,7 +227,15 @@ CampaignCheckpoint load_campaign_checkpoint(const std::string& path) {
   try {
     root = json::Parser(text, path).parse();
   } catch (const json::ParseError& e) {
-    throw CheckpointError(std::string("corrupt checkpoint: ") + e.what());
+    // Name the recovery options: "parse error at line 1" alone reads like
+    // a bug in the tool, when the file is simply unusable.
+    throw CheckpointError(
+        std::string("corrupt checkpoint: ") + e.what() +
+        " — the file is not a valid checkpoint (it may predate this "
+        "version, or be a partial copy from another filesystem); to "
+        "recover, restore a good copy and rerun with --resume, or remove "
+        "the file and rerun without --resume to restart the campaign "
+        "from job 0");
   }
   if (root.kind != json::Value::Kind::kObject) {
     fail(path, "checkpoint must be a JSON object");
@@ -328,24 +341,60 @@ void CheckpointWriter::write_locked() const {
   }
   out += first ? "]\n}\n" : "\n  ]\n}\n";
 
-  // Temp + rename: a kill at any instant leaves a complete checkpoint
-  // (the previous one or this one) on disk, never a torn file.
+  // Temp + fsync + rename + directory fsync: a kill at any instant leaves
+  // a complete checkpoint (the previous one or this one) on disk, never a
+  // torn file — and that holds across POWER LOSS too. Without the fsync,
+  // rename() can be journaled before the temp file's data blocks reach the
+  // disk, and a crash then leaves the FINAL path pointing at an empty (or
+  // partial) file that fails resume with a confusing parse error. The
+  // directory fsync makes the rename itself durable.
   const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) {
-      throw std::runtime_error("checkpoint: cannot open " + tmp +
-                               " for writing");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    throw std::runtime_error("checkpoint: cannot open " + tmp +
+                             " for writing: " + std::strerror(errno));
+  }
+  const char* data = out.data();
+  std::size_t remaining = out.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("checkpoint: write to " + tmp +
+                               " failed: " + std::strerror(err));
     }
-    file << out;
-    file.flush();
-    if (!file.good()) {
-      throw std::runtime_error("checkpoint: write to " + tmp + " failed");
-    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("checkpoint: fsync of " + tmp +
+                             " failed: " + std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    throw std::runtime_error("checkpoint: close of " + tmp +
+                             " failed: " + std::strerror(errno));
   }
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
     throw std::runtime_error("checkpoint: cannot rename " + tmp + " to " +
-                             path_);
+                             path_ + ": " + std::strerror(errno));
+  }
+  // Durable rename: fsync the containing directory. Best-effort — some
+  // filesystems refuse fsync on directory fds (EINVAL) and the data fsync
+  // above already guarantees an un-torn file either way.
+  const std::size_t slash = path_.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? std::string("/")
+                                            : path_.substr(0, slash));
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd >= 0) {
+    (void)::fsync(dirfd);
+    ::close(dirfd);
   }
 }
 

@@ -5,6 +5,7 @@
 #include <istream>
 #include <limits>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -37,11 +38,14 @@ std::string number(double v) {
 /// hostile stream from growing the reorder buffer without bound.
 constexpr std::size_t kMaxPendingWindow = 1'000'000;
 
-/// One chip's protocol-side bookkeeping around its TuningSession.
+/// One chip's protocol-side bookkeeping around its TuningSession. The
+/// session is minted lazily on admission (TuneServerOptions::chip_window):
+/// an unadmitted chip holds no session state at all, so a bounded window
+/// over many thousands of chips keeps per-session memory flat.
 struct ChipSlot {
-  explicit ChipSlot(TuningSession session) : session(std::move(session)) {}
-  TuningSession session;
+  std::optional<TuningSession> session;
   std::size_t next_seq = 0;  ///< seq of the outstanding stimulus
+  bool started = false;      ///< admitted: session minted, stimulus emitted
   bool finished = false;
   bool errored = false;  ///< abandoned by a lenient-mode bad frame
 };
@@ -50,18 +54,19 @@ struct ChipSlot {
 class Exchange {
  public:
   Exchange(const core::TunerService& service, std::size_t chips,
-           std::ostream& out)
-      : out_(&out), unfinished_(chips), errors_(chips) {
-    slots_.reserve(chips);
-    for (std::size_t c = 0; c < chips; ++c) {
-      slots_.emplace_back(service.begin_chip());
-    }
+           std::size_t window, std::ostream& out)
+      : service_(&service),
+        out_(&out),
+        slots_(chips),
+        window_(window == 0 ? chips : std::min(window, chips)),
+        unfinished_(chips),
+        errors_(chips) {
     const core::Problem& problem = service.problem();
     *out_ << "effitest-tune-v1 chips=" << chips
           << " np=" << problem.model().num_pairs()
           << " nb=" << problem.num_buffers()
           << " td=" << number(service.designated_period()) << '\n';
-    for (std::size_t c = 0; c < chips; ++c) emit_next(c);
+    refill();
   }
 
   [[nodiscard]] std::size_t unfinished() const { return unfinished_; }
@@ -69,12 +74,12 @@ class Exchange {
   [[nodiscard]] std::size_t stimuli() const { return stimuli_; }
   [[nodiscard]] ChipSlot& slot(std::size_t c) { return slots_[c]; }
 
-  /// The outstanding stimulus of an unfinished chip (idempotent).
+  /// The outstanding stimulus of an unfinished, admitted chip (idempotent).
   [[nodiscard]] const Stimulus& outstanding(std::size_t c) {
-    return slots_[c].session.next_stimulus();
+    return slots_[c].session->next_stimulus();
   }
   [[nodiscard]] bool is_final(std::size_t c) const {
-    return slots_[c].session.phase() == SessionPhase::kFinalTest;
+    return slots_[c].session->phase() == SessionPhase::kFinalTest;
   }
 
   /// Expected response width of the outstanding stimulus.
@@ -83,31 +88,53 @@ class Exchange {
   }
 
   /// Answer chip c's outstanding stimulus and emit its next one (or its
-  /// report when the session completes).
+  /// report when the session completes, freeing a window slot).
   void apply(std::size_t c, const std::vector<bool>& pass) {
-    slots_[c].session.record_response(pass);
+    slots_[c].session->record_response(pass);
     ++slots_[c].next_seq;
     emit_next(c);
+    if (slots_[c].finished) {
+      --active_;
+      refill();
+    }
   }
 
   /// Abandon an unfinished chip (lenient mode): emit an `error` line, mark
   /// the chip done, and remember why. Its session is left mid-flight; its
-  /// report slot comes back default-constructed.
+  /// report slot comes back default-constructed. The freed window slot
+  /// admits the next chip (unless admission is closed — EOF teardown).
   void abandon(std::size_t c, const std::string& reason) {
     ChipSlot& s = slots_[c];
     if (s.finished) return;
+    const bool was_active = s.started;
     s.finished = true;
     s.errored = true;
     errors_[c] = reason;
     --unfinished_;
     *out_ << "error " << c << ' ' << reason << '\n';
+    if (was_active) {
+      --active_;
+      refill();
+    }
+  }
+
+  /// Stop admitting new chips (the response stream ended): unstarted chips
+  /// are abandoned by the caller without ever emitting a stimulus.
+  void close_admission() { admitting_ = false; }
+
+  /// Chips admitted since the last call — the caller must drain any
+  /// responses already buffered for them.
+  [[nodiscard]] std::vector<std::size_t> take_admitted() {
+    return std::exchange(admitted_, {});
   }
 
   [[nodiscard]] std::vector<ChipReport> take_reports() {
     std::vector<ChipReport> reports;
     reports.reserve(slots_.size());
     for (ChipSlot& s : slots_) {
-      reports.push_back(s.errored ? ChipReport{} : s.session.take_report());
+      reports.push_back(s.errored || !s.session.has_value()
+                            ? ChipReport{}
+                            : s.session->take_report());
     }
     return reports;
   }
@@ -117,10 +144,27 @@ class Exchange {
   }
 
  private:
+  /// Admit chips until `window_` sessions are live (or none remain). A
+  /// freshly admitted session normally emits its first stimulus; the rare
+  /// chip that is born Done (report emitted immediately) does not occupy a
+  /// slot, so the loop keeps the window full without recursing.
+  void refill() {
+    while (admitting_ && next_unstarted_ < slots_.size() &&
+           active_ < window_) {
+      const std::size_t c = next_unstarted_++;
+      ChipSlot& s = slots_[c];
+      s.started = true;
+      s.session.emplace(service_->begin_chip());
+      emit_next(c);
+      if (!s.finished) ++active_;
+      admitted_.push_back(c);
+    }
+  }
+
   void emit_next(std::size_t c) {
     ChipSlot& s = slots_[c];
-    if (s.session.phase() == SessionPhase::kDone) {
-      const ChipReport& r = s.session.report();
+    if (s.session->phase() == SessionPhase::kDone) {
+      const ChipReport& r = s.session->report();
       *out_ << "report " << c << " iterations=" << r.test.iterations
             << " forced=" << r.test.forced
             << " feasible=" << (r.config.feasible ? 1 : 0) << " passed="
@@ -133,7 +177,7 @@ class Exchange {
       return;
     }
     const bool final_phase = is_final(c);
-    const Stimulus& stim = s.session.next_stimulus();
+    const Stimulus& stim = s.session->next_stimulus();
     *out_ << (final_phase ? "final " : "stimulus ") << c << ' ' << s.next_seq
           << ' ' << number(stim.period) << " steps";
     for (int k : stim.steps) *out_ << ' ' << k;
@@ -145,8 +189,14 @@ class Exchange {
     ++stimuli_;
   }
 
+  const core::TunerService* service_;
   std::ostream* out_;
   std::vector<ChipSlot> slots_;
+  std::size_t window_ = 0;           ///< live-session bound (== chips: off)
+  std::size_t next_unstarted_ = 0;   ///< chips [0, this) have been admitted
+  std::size_t active_ = 0;           ///< started && !finished
+  bool admitting_ = true;
+  std::vector<std::size_t> admitted_;  ///< since last take_admitted()
   std::size_t unfinished_ = 0;
   std::size_t stimuli_ = 0;
   std::vector<std::string> errors_;  ///< per chip; empty = clean
@@ -179,7 +229,7 @@ TuneServer::TuneServer(const core::TunerService& service, std::size_t chips,
     : service_(&service), chips_(chips), options_(options) {}
 
 TuneServerResult TuneServer::run(std::istream& in, std::ostream& out) {
-  Exchange exchange(*service_, chips_, out);
+  Exchange exchange(*service_, chips_, options_.chip_window, out);
   const bool lenient = options_.lenient;
   // No legal response is ever wider than np (a final line carries one bit),
   // so anything wider is rejected before it can occupy the reorder buffer.
@@ -189,79 +239,10 @@ TuneServerResult TuneServer::run(std::istream& in, std::ostream& out) {
 
   // Buffered out-of-order responses by (chip, seq).
   std::map<std::pair<std::size_t, std::size_t>, std::string> pending;
-  std::string line;
-  while (exchange.unfinished() > 0) {
-    if (!std::getline(in, line)) {
-      if (!lenient) {
-        throw std::runtime_error(
-            "tune: response stream ended with " +
-            std::to_string(exchange.unfinished()) + " chip(s) unfinished");
-      }
-      for (std::size_t c = 0; c < exchange.chips(); ++c) {
-        if (!exchange.slot(c).finished) {
-          exchange.abandon(
-              c, "tune: response stream ended before this chip finished");
-        }
-      }
-      break;
-    }
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream is(line);
-    std::string tag, bits, extra;
-    std::size_t chip = 0, seq = 0;
-    if (!(is >> tag) || tag != "response" || !(is >> chip >> seq >> bits) ||
-        (is >> extra)) {
-      if (!lenient) {
-        throw std::runtime_error("tune: malformed response line \"" + line +
-                                 "\"");
-      }
-      ++result.dropped_lines;  // attributable to no chip — drop it
-      continue;
-    }
-    if (chip >= exchange.chips()) {
-      if (!lenient) {
-        throw std::runtime_error("tune: response for unknown chip " +
-                                 std::to_string(chip));
-      }
-      ++result.dropped_lines;
-      continue;
-    }
-    // From here a bad frame is attributable: in lenient mode it abandons
-    // exactly this chip and the run keeps serving the others.
-    const auto bad_frame = [&](const std::string& reason) {
-      if (!lenient) throw std::runtime_error(reason);
-      exchange.abandon(chip, reason);
-    };
-    if (exchange.slot(chip).finished) {
-      if (!lenient) {
-        throw std::runtime_error("tune: duplicate/stale response for chip " +
-                                 std::to_string(chip) + " seq " +
-                                 std::to_string(seq));
-      }
-      ++result.dropped_lines;  // the chip's report (or error) already stands
-      continue;
-    }
-    if (bits.size() > max_bits) {
-      bad_frame("tune: response width " + std::to_string(bits.size()) +
-                " for chip " + std::to_string(chip) +
-                " exceeds the protocol maximum np=" +
-                std::to_string(max_bits));
-      continue;
-    }
-    if (seq >= exchange.slot(chip).next_seq + kMaxPendingWindow) {
-      bad_frame("tune: implausible sequence number " + std::to_string(seq) +
-                " for chip " + std::to_string(chip) + " (next expected " +
-                std::to_string(exchange.slot(chip).next_seq) + ")");
-      continue;
-    }
-    if (seq < exchange.slot(chip).next_seq ||
-        !pending.emplace(std::make_pair(chip, seq), bits).second) {
-      bad_frame("tune: duplicate/stale response for chip " +
-                std::to_string(chip) + " seq " + std::to_string(seq));
-      continue;
-    }
-    // Drain this chip's queue as far as buffered responses allow.
-    while (!exchange.slot(chip).finished) {
+
+  // Drain one admitted chip's queue as far as buffered responses allow.
+  const auto drain_chip = [&](std::size_t chip) {
+    while (exchange.slot(chip).started && !exchange.slot(chip).finished) {
       const auto it =
           pending.find(std::make_pair(chip, exchange.slot(chip).next_seq));
       if (it == pending.end()) break;
@@ -271,7 +252,8 @@ TuneServerResult TuneServer::run(std::istream& in, std::ostream& out) {
             " does not match stimulus for chip " + std::to_string(chip) +
             " seq " + std::to_string(it->first.second);
         pending.erase(it);
-        bad_frame(reason);
+        if (!lenient) throw std::runtime_error(reason);
+        exchange.abandon(chip, reason);
         break;
       }
       std::vector<bool> pass;
@@ -286,6 +268,103 @@ TuneServerResult TuneServer::run(std::istream& in, std::ostream& out) {
       pending.erase(it);
       exchange.apply(chip, pass);
     }
+  };
+  // A finished chip frees a window slot: freshly admitted chips may
+  // already have responses waiting in the reorder buffer (a replayed log),
+  // and draining those can cascade into further admissions.
+  const auto drain_admitted = [&] {
+    std::vector<std::size_t> fresh;
+    while (!(fresh = exchange.take_admitted()).empty()) {
+      for (const std::size_t c : fresh) drain_chip(c);
+    }
+  };
+
+  // Consume one response line; early returns mirror the historical
+  // `continue`s (any admissions they trigger are drained by the caller).
+  const auto process_line = [&](const std::string& line) {
+    std::istringstream is(line);
+    std::string tag, bits, extra;
+    std::size_t chip = 0, seq = 0;
+    if (!(is >> tag) || tag != "response" || !(is >> chip >> seq >> bits) ||
+        (is >> extra)) {
+      if (!lenient) {
+        throw std::runtime_error("tune: malformed response line \"" + line +
+                                 "\"");
+      }
+      ++result.dropped_lines;  // attributable to no chip — drop it
+      return;
+    }
+    if (chip >= exchange.chips()) {
+      if (!lenient) {
+        throw std::runtime_error("tune: response for unknown chip " +
+                                 std::to_string(chip));
+      }
+      ++result.dropped_lines;
+      return;
+    }
+    // From here a bad frame is attributable: in lenient mode it abandons
+    // exactly this chip and the run keeps serving the others.
+    const auto bad_frame = [&](const std::string& reason) {
+      if (!lenient) throw std::runtime_error(reason);
+      exchange.abandon(chip, reason);
+    };
+    if (exchange.slot(chip).finished) {
+      if (!lenient) {
+        throw std::runtime_error("tune: duplicate/stale response for chip " +
+                                 std::to_string(chip) + " seq " +
+                                 std::to_string(seq));
+      }
+      ++result.dropped_lines;  // the chip's report (or error) already stands
+      return;
+    }
+    if (bits.size() > max_bits) {
+      bad_frame("tune: response width " + std::to_string(bits.size()) +
+                " for chip " + std::to_string(chip) +
+                " exceeds the protocol maximum np=" +
+                std::to_string(max_bits));
+      return;
+    }
+    if (seq >= exchange.slot(chip).next_seq + kMaxPendingWindow) {
+      bad_frame("tune: implausible sequence number " + std::to_string(seq) +
+                " for chip " + std::to_string(chip) + " (next expected " +
+                std::to_string(exchange.slot(chip).next_seq) + ")");
+      return;
+    }
+    if (seq < exchange.slot(chip).next_seq ||
+        !pending.emplace(std::make_pair(chip, seq), bits).second) {
+      bad_frame("tune: duplicate/stale response for chip " +
+                std::to_string(chip) + " seq " + std::to_string(seq));
+      return;
+    }
+    drain_chip(chip);
+  };
+
+  std::string line;
+  while (exchange.unfinished() > 0) {
+    if (!std::getline(in, line)) {
+      if (!lenient) {
+        throw std::runtime_error(
+            "tune: response stream ended with " +
+            std::to_string(exchange.unfinished()) + " chip(s) unfinished");
+      }
+      // No new chips past this point: unstarted ones are abandoned without
+      // ever emitting a stimulus nobody will answer.
+      exchange.close_admission();
+      for (std::size_t c = 0; c < exchange.chips(); ++c) {
+        if (!exchange.slot(c).finished) {
+          exchange.abandon(
+              c, "tune: response stream ended before this chip finished");
+        }
+      }
+      break;
+    }
+    // CRLF tolerance: a DOS/telnet-style client terminates every line with
+    // \r\n and getline leaves the \r behind — strip it in BOTH modes, or
+    // every frame such a client sends is rejected as malformed.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    process_line(line);
+    drain_admitted();
   }
   if (!pending.empty()) {
     if (!lenient) {
@@ -322,13 +401,14 @@ TuneServerResult TuneServer::run_simulated(std::ostream& out,
     testers.emplace_back(problem, dies[c]);
   }
 
-  Exchange exchange(*service_, chips_, out);
+  Exchange exchange(*service_, chips_, options_.chip_window, out);
   // Round-robin: one stimulus/response exchange per unfinished chip per
   // sweep, so a logged session interleaves chips (the interesting replay
-  // case).
+  // case). With a chip window only admitted chips participate; finishing
+  // one admits the next (inside apply), which joins the rotation.
   while (exchange.unfinished() > 0) {
     for (std::size_t c = 0; c < chips_; ++c) {
-      if (exchange.slot(c).finished) continue;
+      if (!exchange.slot(c).started || exchange.slot(c).finished) continue;
       const Stimulus& stim = exchange.outstanding(c);
       std::vector<bool> pass;
       if (exchange.is_final(c)) {

@@ -27,6 +27,11 @@
 // (core/tuner_service.hpp), so the reports are identical for every legal
 // ordering of the same response set.
 //
+// Lines are accepted with either LF or CRLF endings in both modes: a
+// trailing '\r' left by std::getline on a DOS/Windows tester stream (or a
+// telnet-style TCP client) is stripped before parsing, the same guarantee
+// the .bench parser makes for DOS-formatted ISCAS89 files.
+//
 // Malformed input (strict mode, the default): the first bad line aborts
 // the whole run with std::runtime_error. In lenient mode
 // (TuneServerOptions::lenient — `effitest_cli tune --lenient`) a bad frame
@@ -58,6 +63,17 @@ struct TuneServerOptions {
   /// Abandon individual chips on attributable bad frames instead of
   /// aborting the whole run (see the protocol comment above).
   bool lenient = false;
+  /// Per-session backpressure: at most this many chips have an outstanding
+  /// stimulus at once. 0 (the default) admits every chip up front — the
+  /// historical behavior, whose initial burst is one stimulus line per
+  /// chip. With a window W, only W sessions exist at a time: a new chip is
+  /// admitted (its TuningSession minted and its first stimulus emitted)
+  /// only when another finishes, so a 10k-chip session holds W live
+  /// sessions and never floods a slow link. Reports are identical for any
+  /// window — sessions are independent and responses for not-yet-admitted
+  /// chips simply wait in the (chip, seq) reorder buffer, still bounded by
+  /// kMaxPendingWindow semantics.
+  std::size_t chip_window = 0;
 };
 
 struct TuneServerResult {

@@ -1,0 +1,295 @@
+#include "net/serve.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "io/tune_protocol.hpp"
+
+namespace effitest::net {
+
+namespace {
+
+/// Parsed `hello effitest-tune-v1 chips=<n> [lenient] [window=<w>]`.
+/// `error` non-empty on a malformed or out-of-policy hello.
+struct Hello {
+  std::size_t chips = 0;
+  std::size_t window = 0;
+  bool lenient = false;
+  std::string error;
+};
+
+Hello parse_hello(const std::string& line, const ServeOptions& options) {
+  Hello h;
+  std::istringstream is(line);
+  std::string tag, version, token;
+  if (!(is >> tag >> version) || tag != "hello" ||
+      version != "effitest-tune-v1") {
+    h.error = "expected \"hello effitest-tune-v1 chips=<n>\"";
+    return h;
+  }
+  bool saw_chips = false;
+  while (is >> token) {
+    if (token == "lenient") {
+      h.lenient = true;
+      continue;
+    }
+    const auto eq = token.find('=');
+    const std::string key = token.substr(0, eq);
+    std::size_t value = 0;
+    if (eq != std::string::npos) {
+      std::istringstream vs(token.substr(eq + 1));
+      if (!(vs >> value) || !vs.eof()) {
+        h.error = "malformed hello option \"" + token + "\"";
+        return h;
+      }
+    }
+    if (key == "chips" && eq != std::string::npos) {
+      h.chips = value;
+      saw_chips = true;
+    } else if (key == "window" && eq != std::string::npos) {
+      h.window = value;
+    } else {
+      h.error = "unknown hello option \"" + token + "\"";
+      return h;
+    }
+  }
+  if (!saw_chips || h.chips == 0) {
+    h.error = "hello must carry chips=<n> with n >= 1";
+    return h;
+  }
+  if (h.chips > options.max_chips_per_session) {
+    h.error = "chips=" + std::to_string(h.chips) +
+              " exceeds this server's per-session limit of " +
+              std::to_string(options.max_chips_per_session);
+    return h;
+  }
+  // The server-side window caps the client's request; a client that asked
+  // for none gets the server's default.
+  if (options.chip_window != 0) {
+    h.window = h.window == 0 ? options.chip_window
+                             : std::min(h.window, options.chip_window);
+  }
+  return h;
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double seconds) {
+  const double us = seconds * 1e6;
+  std::size_t bucket = 0;
+  if (us >= 1.0) {
+    bucket = static_cast<std::size_t>(std::log2(us));
+    bucket = std::min(bucket, kBuckets - 1);
+  }
+  ++buckets_[bucket];
+  ++count_;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, 1-based; walk the cumulative counts.
+  const std::size_t rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(q * static_cast<double>(count_))));
+  std::size_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Geometric midpoint of [2^b, 2^(b+1)) microseconds, in seconds.
+      return std::exp2(static_cast<double>(b) + 0.5) * 1e-6;
+    }
+  }
+  return std::exp2(static_cast<double>(kBuckets)) * 1e-6;
+}
+
+TuneServeLoop::TuneServeLoop(const core::TunerService& service,
+                             ServeOptions options)
+    : service_(&service),
+      options_(std::move(options)),
+      balancer_(options_.workers == 0 ? 1 : options_.workers) {}
+
+TuneServeLoop::~TuneServeLoop() {
+  request_drain();
+  wait();
+}
+
+void TuneServeLoop::start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error("serve: start() called twice");
+  }
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error("serve: pipe failed");
+  }
+  drain_pipe_r_ = Socket(pipe_fds[0]);
+  drain_pipe_w_ = Socket(pipe_fds[1]);
+  listener_ = std::make_unique<Listener>(options_.host, options_.port,
+                                         options_.listen_backlog);
+  port_ = listener_->port();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    started_at_ = std::chrono::steady_clock::now();
+  }
+  threads_.reserve(balancer_.workers() + 1);
+  threads_.emplace_back([this] { accept_loop(); });
+  for (std::size_t w = 0; w < balancer_.workers(); ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+void TuneServeLoop::request_drain() {
+  // Called from signal handlers: atomic store + one write(2), nothing else.
+  if (draining_.exchange(true)) return;
+  if (drain_pipe_w_.valid()) {
+    const char byte = 'd';
+    (void)!::write(drain_pipe_w_.fd(), &byte, 1);
+  }
+}
+
+void TuneServeLoop::wait() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  if (!drained_ && started_.load()) {
+    drained_ = true;
+    drained_at_ = std::chrono::steady_clock::now();
+  }
+}
+
+void TuneServeLoop::accept_loop() {
+  std::size_t accepted = 0;
+  while (!draining_.load(std::memory_order_relaxed)) {
+    // Backpressure: with the backlog full, poll only the drain pipe and
+    // re-check the queue on a short tick — pending connections sit in the
+    // kernel's listen queue, nobody is rejected.
+    const bool paused = balancer_.queued() >= options_.max_pending;
+    pollfd fds[2];
+    fds[0] = {drain_pipe_r_.fd(), POLLIN, 0};
+    fds[1] = {listener_->fd(), POLLIN, 0};
+    const int n = ::poll(fds, paused ? 1 : 2, paused ? 50 : 500);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[0].revents != 0) break;  // drain requested
+    if (paused || n == 0 || (fds[1].revents & POLLIN) == 0) continue;
+    Socket conn = listener_->accept();
+    if (!conn.valid()) continue;
+    conn.set_io_timeout(options_.io_timeout_seconds);
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++sessions_accepted_;
+    }
+    balancer_.dispatch(std::move(conn));
+    ++accepted;
+    if (options_.max_sessions != 0 && accepted >= options_.max_sessions) {
+      request_drain();
+      break;
+    }
+  }
+  // Stop the kernel from queueing more connections, then let the workers
+  // finish everything already accepted.
+  listener_->close();
+  balancer_.close();
+}
+
+void TuneServeLoop::worker_loop(std::size_t w) {
+  while (auto task = balancer_.next(w)) {
+    serve_connection(std::move(*task));
+    balancer_.task_done(w);
+  }
+}
+
+void TuneServeLoop::serve_connection(Socket socket) {
+  const auto session_start = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++active_sessions_;
+  }
+  SocketStream stream(std::move(socket));
+  std::string line;
+  Hello hello;
+  if (!std::getline(stream, line)) {
+    hello.error = "connection closed before hello";
+  } else {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    hello = parse_hello(line, options_);
+  }
+  bool completed = false;
+  std::size_t chips = 0;
+  std::size_t stimuli = 0;
+  if (hello.error.empty()) {
+    const std::uint64_t id = next_session_id_.fetch_add(1);
+    stream << "serve effitest-tune-v1 session=" << id
+           << " seed=" << service_->monte_carlo_seed_base() << '\n';
+    stream.flush();
+    io::TuneServerOptions topts;
+    topts.lenient = hello.lenient;
+    topts.chip_window = hello.window;
+    io::TuneServer server(*service_, hello.chips, topts);
+    try {
+      const io::TuneServerResult result = server.run(stream, stream);
+      stream.flush();  // the trailing report/bye lines have no read after
+      completed = true;
+      chips = hello.chips;
+      stimuli = result.stimuli;
+    } catch (const std::exception& e) {
+      // Strict-mode bad frame or a vanished client: this session dies, its
+      // siblings never notice. Best effort notice to a peer still there.
+      stream << "error - " << e.what() << '\n';
+      stream.flush();
+    }
+  } else {
+    stream << "error - " << hello.error << '\n';
+    stream.flush();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    session_start)
+          .count();
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  --active_sessions_;
+  if (completed) {
+    ++sessions_completed_;
+    chips_tuned_ += chips;
+    stimuli_ += stimuli;
+    latency_.record(seconds);
+  } else {
+    ++sessions_failed_;
+  }
+}
+
+ServeMetricsSnapshot TuneServeLoop::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  ServeMetricsSnapshot snap;
+  snap.sessions_accepted = sessions_accepted_;
+  snap.sessions_completed = sessions_completed_;
+  snap.sessions_failed = sessions_failed_;
+  snap.active_sessions = active_sessions_;
+  snap.queue_depth = balancer_.queued();
+  snap.chips_tuned = chips_tuned_;
+  snap.stimuli = stimuli_;
+  const auto end =
+      drained_ ? drained_at_ : std::chrono::steady_clock::now();
+  snap.wall_seconds = std::chrono::duration<double>(end - started_at_).count();
+  snap.sessions_per_sec =
+      snap.wall_seconds > 0.0
+          ? static_cast<double>(sessions_completed_) / snap.wall_seconds
+          : 0.0;
+  snap.latency_p50 = latency_.quantile(0.50);
+  snap.latency_p90 = latency_.quantile(0.90);
+  snap.latency_p99 = latency_.quantile(0.99);
+  return snap;
+}
+
+}  // namespace effitest::net

@@ -1,0 +1,165 @@
+#pragma once
+// TCP serve mode: one TunerService, thousands of concurrent chip-tuning
+// sessions (`effitest_cli serve` / bench_serve). DESIGN.md §13.
+//
+// Wire protocol, layered on io/tune_protocol.hpp line framing:
+//
+//   client:  hello effitest-tune-v1 chips=<n> [lenient] [window=<w>]
+//   server:  serve effitest-tune-v1 session=<id> seed=<base>
+//   ...the standard effitest-tune-v1 exchange (header, stimulus/response,
+//      report, bye), byte-identical to `effitest_cli tune`...
+//
+// The greeting carries monte_carlo_seed_base() because a client simulating
+// dies cannot recompute it: the base falls out of the offline phase's RNG
+// fork order, which only the server ran. With it, client-side die c is
+// sampled stats::Rng(parallel::index_seed(seed, c)) — exactly run_flow's
+// Monte-Carlo loop — so a loopback client's reports are byte-identical to
+// `tune --simulate` for the same circuit and flow options.
+//
+// Concurrency shape: an accept thread hands connections to a
+// net::LoadBalancer of `workers` session threads (worker-priority deques +
+// stealing, load_balancer.hpp). Backpressure is accept-pausing: when the
+// un-claimed backlog reaches `max_pending` the accept loop stops calling
+// accept() and pending connections wait in the kernel listen backlog —
+// nobody is busy-rejected. Per-session backpressure reuses the protocol's
+// chip_window: at most `chip_window` live TuningSessions per connection,
+// responses for unadmitted chips parked in the reorder buffer under the
+// same kMaxPendingWindow bound as every other mode.
+//
+// Drain (SIGTERM): request_drain() is async-signal-safe — it flips an
+// atomic and writes one byte to a self-pipe the accept loop polls next to
+// the listener. The listener closes immediately, queued and in-flight
+// sessions run to completion, then wait() returns. A client that vanishes
+// mid-session surfaces as stream EOF inside that one session; sibling
+// sessions never notice.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tuner_service.hpp"
+#include "net/load_balancer.hpp"
+#include "net/socket.hpp"
+
+namespace effitest::net {
+
+struct ServeOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0: ephemeral, read the choice from port()
+  std::size_t workers = 8;
+  /// Accept-pausing threshold: stop accepting while this many accepted
+  /// connections are not yet claimed by a worker.
+  std::size_t max_pending = 64;
+  /// Per-session chip window forced by the server; 0 honors the client's
+  /// `window=` request (or no window at all). A nonzero value caps the
+  /// client's request.
+  std::size_t chip_window = 0;
+  /// hello chips=<n> above this is rejected before any session state is
+  /// allocated (an `error - ...` line, then close).
+  std::size_t max_chips_per_session = 100000;
+  /// Drain automatically after this many accepted sessions; 0 = serve
+  /// until request_drain(). The self-terminating mode tests and the CI
+  /// smoke step rely on.
+  std::size_t max_sessions = 0;
+  /// Socket send/receive timeout per session; 0 = block forever. A recv
+  /// timeout looks like a disconnected tester (stream EOF).
+  double io_timeout_seconds = 0.0;
+  int listen_backlog = 512;
+};
+
+/// Power-of-two-bucketed latency histogram: bucket i holds durations in
+/// [2^i, 2^(i+1)) microseconds. quantile() interpolates at the geometric
+/// midpoint of the bucket the rank lands in — 2 significant figures of
+/// accuracy for the p50/p90/p99 the serve metrics report, O(1) memory for
+/// any session count.
+class LatencyHistogram {
+ public:
+  void record(double seconds);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  /// q in [0, 1]; 0 when nothing was recorded.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  static constexpr std::size_t kBuckets = 48;
+  std::vector<std::size_t> buckets_ = std::vector<std::size_t>(kBuckets, 0);
+  std::size_t count_ = 0;
+};
+
+struct ServeMetricsSnapshot {
+  std::size_t sessions_accepted = 0;
+  std::size_t sessions_completed = 0;
+  std::size_t sessions_failed = 0;  ///< bad hello, bad frames, disconnects
+  std::size_t active_sessions = 0;
+  std::size_t queue_depth = 0;  ///< accepted, not yet claimed by a worker
+  std::size_t chips_tuned = 0;
+  std::size_t stimuli = 0;
+  double wall_seconds = 0.0;  ///< start() to the snapshot (or to drain end)
+  double sessions_per_sec = 0.0;
+  double latency_p50 = 0.0;  ///< per-session wall seconds
+  double latency_p90 = 0.0;
+  double latency_p99 = 0.0;
+};
+
+class TuneServeLoop {
+ public:
+  TuneServeLoop(const core::TunerService& service, ServeOptions options);
+  ~TuneServeLoop();
+
+  TuneServeLoop(const TuneServeLoop&) = delete;
+  TuneServeLoop& operator=(const TuneServeLoop&) = delete;
+
+  /// Bind, listen, spawn the accept thread and the worker pool. Throws
+  /// std::runtime_error when the address cannot be bound.
+  void start();
+
+  /// Valid after start(); the kernel's choice when options.port was 0.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const std::string& host() const { return options_.host; }
+
+  /// Async-signal-safe (atomic store + one pipe write): stop accepting,
+  /// finish queued and in-flight sessions. Idempotent.
+  void request_drain();
+
+  /// Join everything; returns once the last session finished. Idempotent.
+  void wait();
+
+  [[nodiscard]] ServeMetricsSnapshot metrics() const;
+
+ private:
+  void accept_loop();
+  void worker_loop(std::size_t w);
+  void serve_connection(Socket socket);
+
+  const core::TunerService* service_;
+  ServeOptions options_;
+  std::unique_ptr<Listener> listener_;
+  std::uint16_t port_ = 0;
+  LoadBalancer<Socket> balancer_;
+  std::vector<std::thread> threads_;
+  Socket drain_pipe_r_;
+  Socket drain_pipe_w_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint64_t> next_session_id_{0};
+
+  // Metrics, guarded by metrics_mutex_ except the atomics above.
+  mutable std::mutex metrics_mutex_;
+  std::size_t sessions_accepted_ = 0;
+  std::size_t sessions_completed_ = 0;
+  std::size_t sessions_failed_ = 0;
+  std::size_t active_sessions_ = 0;
+  std::size_t chips_tuned_ = 0;
+  std::size_t stimuli_ = 0;
+  LatencyHistogram latency_;
+  std::chrono::steady_clock::time_point started_at_{};
+  std::chrono::steady_clock::time_point drained_at_{};
+  bool drained_ = false;
+};
+
+}  // namespace effitest::net

@@ -255,6 +255,18 @@ TEST(CampaignCheckpoint, CorruptAndTruncatedFilesAreRejected) {
   }
   EXPECT_THROW((void)io::load_campaign_checkpoint(garbage),
                io::CheckpointError);
+  // The corrupt-file error must tell the operator how to recover, not just
+  // where the parse died: both --resume (restore a good copy) and
+  // start-fresh (remove, rerun without --resume) are named.
+  try {
+    (void)io::load_campaign_checkpoint(garbage);
+    FAIL() << "corrupt checkpoint was accepted";
+  } catch (const io::CheckpointError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("corrupt checkpoint"), std::string::npos) << what;
+    EXPECT_NE(what.find("--resume"), std::string::npos) << what;
+    EXPECT_NE(what.find("remove the file"), std::string::npos) << what;
+  }
 
   EXPECT_THROW((void)io::load_campaign_checkpoint(
                    temp_path("does_not_exist.json")),

@@ -1,0 +1,470 @@
+// Integration suite for the TCP serve mode (net/serve.hpp): concurrent
+// loopback sessions must reproduce `tune --simulate` reports
+// byte-for-byte, an abandoned connection must never disturb its siblings,
+// CRLF framing must survive the wire, and a drain must finish every
+// in-flight session. Runs under the ThreadSanitizer CI label (`net`)
+// alongside the parallel/session suites — the whole point of the suite is
+// the concurrency.
+//
+// Everything binds 127.0.0.1 port 0 (kernel-chosen), so parallel ctest
+// invocations never collide.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tuner_service.hpp"
+#include "io/tune_protocol.hpp"
+#include "net/client.hpp"
+#include "net/load_balancer.hpp"
+#include "net/serve.hpp"
+#include "net/socket.hpp"
+#include "netlist/generator.hpp"
+#include "parallel/deterministic_for.hpp"
+#include "stats/rng.hpp"
+#include "timing/model.hpp"
+
+namespace {
+
+using namespace effitest;
+
+/// One tiny shared circuit/service for the whole suite (the fuzz harness's
+/// 16-FF/60-gate/2-buffer generator with an explicit designated period, so
+/// construction is protocol-speed, not flow-calibration-speed).
+struct ServiceHolder {
+  netlist::GeneratedCircuit circuit;
+  netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  timing::CircuitModel model;
+  core::Problem problem;
+  core::TunerService service;
+
+  static netlist::GeneratorSpec spec() {
+    netlist::GeneratorSpec s;
+    s.num_flip_flops = 16;
+    s.num_gates = 60;
+    s.num_buffers = 2;
+    s.num_critical_paths = 6;
+    s.seed = 7;
+    return s;
+  }
+
+  static core::FlowOptions options() {
+    core::FlowOptions o;
+    o.seed = 11;
+    o.designated_period = 900.0;
+    o.threads = 1;
+    return o;
+  }
+
+  ServiceHolder()
+      : circuit(netlist::generate_circuit(spec())),
+        model(circuit.netlist, lib, circuit.buffered_ffs),
+        problem(model),
+        service(problem, options()) {}
+};
+
+const ServiceHolder& holder() {
+  static const ServiceHolder h;
+  return h;
+}
+
+std::vector<std::string> sorted_by_chip(std::vector<std::string> lines);
+
+/// The `report <chip> ...` lines of a local simulated run, in chip order —
+/// the golden transcript every networked session must reproduce
+/// byte-for-byte. (Both modes emit reports in completion order, which
+/// depends on response arrival; chip order is the canonical comparison.)
+std::vector<std::string> simulated_report_lines(std::size_t chips) {
+  io::TuneServer server(holder().service, chips);
+  std::ostringstream out;
+  (void)server.run_simulated(out);
+  std::vector<std::string> reports;
+  std::istringstream is(out.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("report ", 0) == 0) reports.push_back(line);
+  }
+  return sorted_by_chip(std::move(reports));
+}
+
+std::vector<std::string> sorted_by_chip(std::vector<std::string> lines) {
+  // Chip ids are the second token; lexicographic sort is wrong past chip 9.
+  std::sort(lines.begin(), lines.end(),
+            [](const std::string& a, const std::string& b) {
+              std::istringstream as(a), bs(b);
+              std::string tag;
+              std::size_t ca = 0, cb = 0;
+              as >> tag >> ca;
+              bs >> tag >> cb;
+              return ca < cb;
+            });
+  return lines;
+}
+
+TEST(ServeLoop, ConcurrentLoopbackSessionsMatchSimulatedReports) {
+  net::ServeOptions options;
+  options.workers = 4;
+  net::TuneServeLoop loop(holder().service, options);
+  loop.start();
+
+  constexpr std::size_t kClients = 12;
+  constexpr std::size_t kChips = 3;
+  const std::vector<std::string> golden = simulated_report_lines(kChips);
+  ASSERT_EQ(golden.size(), kChips);
+
+  std::vector<std::optional<net::ClientResult>> results(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        net::ClientOptions copts;
+        copts.chips = kChips;
+        // Odd clients add per-session backpressure; the reports must not
+        // care.
+        copts.window = (i % 2 == 1) ? 1 : 0;
+        results[i] = net::run_loopback_client("127.0.0.1", loop.port(),
+                                              holder().problem, copts);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  loop.request_drain();
+  loop.wait();
+
+  for (std::size_t i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(results[i].has_value()) << "client " << i << " threw";
+    EXPECT_EQ(sorted_by_chip(results[i]->report_lines), golden)
+        << "client " << i;
+    EXPECT_TRUE(results[i]->error_lines.empty());
+  }
+  const net::ServeMetricsSnapshot m = loop.metrics();
+  EXPECT_EQ(m.sessions_completed, kClients);
+  EXPECT_EQ(m.sessions_failed, 0u);
+  EXPECT_EQ(m.chips_tuned, kClients * kChips);
+  EXPECT_EQ(m.active_sessions, 0u);
+  EXPECT_EQ(m.queue_depth, 0u);
+  EXPECT_GT(m.sessions_per_sec, 0.0);
+  EXPECT_GT(m.latency_p50, 0.0);
+  EXPECT_LE(m.latency_p50, m.latency_p99);
+}
+
+TEST(ServeLoop, ManyConcurrentSessionsThroughFewWorkers) {
+  // The acceptance bar: hundreds of concurrent connections funneled
+  // through a handful of workers via accept-pausing backpressure — nobody
+  // gets busy-rejected, every session's report is exact.
+  net::ServeOptions options;
+  options.workers = 8;
+  options.max_pending = 16;
+  net::TuneServeLoop loop(holder().service, options);
+  loop.start();
+
+  constexpr std::size_t kClients = 256;
+  const std::vector<std::string> golden = simulated_report_lines(1);
+  std::atomic<std::size_t> ok{0};
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t i = 0; i < kClients; ++i) {
+      clients.emplace_back([&] {
+        net::ClientOptions copts;
+        copts.chips = 1;
+        const net::ClientResult r = net::run_loopback_client(
+            "127.0.0.1", loop.port(), holder().problem, copts);
+        if (r.report_lines == golden) ok.fetch_add(1);
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  loop.request_drain();
+  loop.wait();
+  EXPECT_EQ(ok.load(), kClients);
+  EXPECT_EQ(loop.metrics().sessions_completed, kClients);
+}
+
+TEST(ServeLoop, AbandonedConnectionLeavesSiblingsUntouched) {
+  net::ServeOptions options;
+  options.workers = 4;
+  net::TuneServeLoop loop(holder().service, options);
+  loop.start();
+
+  const std::vector<std::string> golden = simulated_report_lines(2);
+  {
+    // Mid-session desertion: hello, greeting, first stimulus — then gone.
+    net::SocketStream deserter(net::connect_to("127.0.0.1", loop.port()));
+    deserter << "hello effitest-tune-v1 chips=2\n";
+    deserter.flush();
+    std::string line;
+    ASSERT_TRUE(std::getline(deserter, line));
+    EXPECT_EQ(line.rfind("serve effitest-tune-v1 ", 0), 0u) << line;
+    ASSERT_TRUE(std::getline(deserter, line));  // session header
+    ASSERT_TRUE(std::getline(deserter, line));  // first stimulus
+  }  // closed without a single response
+
+  net::ClientOptions copts;
+  copts.chips = 2;
+  const net::ClientResult sibling = net::run_loopback_client(
+      "127.0.0.1", loop.port(), holder().problem, copts);
+  EXPECT_EQ(sorted_by_chip(sibling.report_lines), golden);
+
+  loop.request_drain();
+  loop.wait();
+  const net::ServeMetricsSnapshot m = loop.metrics();
+  EXPECT_EQ(m.sessions_completed, 1u);
+  EXPECT_EQ(m.sessions_failed, 1u);
+}
+
+TEST(ServeLoop, CrlfFramedClientIsServed) {
+  // A telnet-style client terminates every line with \r\n; the protocol
+  // reader must strip the \r over TCP exactly as it does from a file
+  // (the regression the CRLF fix pinned, now end to end).
+  net::ServeOptions options;
+  options.workers = 1;
+  net::TuneServeLoop loop(holder().service, options);
+  loop.start();
+
+  const std::vector<std::string> golden = simulated_report_lines(1);
+  std::vector<std::string> reports;
+  {
+    net::SocketStream stream(net::connect_to("127.0.0.1", loop.port()));
+    stream << "hello effitest-tune-v1 chips=1\r\n";
+    stream.flush();
+    std::string line;
+    ASSERT_TRUE(std::getline(stream, line));  // greeting
+    ASSERT_TRUE(line.rfind("serve ", 0) == 0) << line;
+    const std::string seed_kv = line.substr(line.rfind("seed=") + 5);
+    const std::uint64_t seed = std::stoull(seed_kv);
+
+    // One simulated die, answered with CRLF endings.
+    timing::SampleWorkspace ws;
+    stats::Rng rng(parallel::index_seed(seed, 0));
+    const timing::Chip die = holder().model.sample_chip(rng, ws);
+    core::SimulatedChip tester(holder().problem, die);
+    while (std::getline(stream, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line == "bye") break;
+      if (line.rfind("report ", 0) == 0) {
+        reports.push_back(line);
+        continue;
+      }
+      std::istringstream is(line);
+      std::string tag;
+      is >> tag;
+      if (tag != "stimulus" && tag != "final") continue;
+      std::size_t chip = 0, seq = 0;
+      std::string marker;
+      core::Stimulus stim;
+      ASSERT_TRUE(is >> chip >> seq >> stim.period >> marker);
+      std::string token;
+      bool in_arm = false;
+      while (is >> token) {
+        if (token == "arm") {
+          in_arm = true;
+        } else if (in_arm) {
+          stim.armed.push_back(std::stoul(token));
+        } else {
+          stim.steps.push_back(std::stoi(token));
+        }
+      }
+      std::vector<bool> pass;
+      if (tag == "final") {
+        pass.assign(1, tester.final_test(stim.period, stim.steps));
+      } else {
+        pass = tester.apply(stim);
+      }
+      std::string bits(pass.size(), '0');
+      for (std::size_t i = 0; i < pass.size(); ++i) {
+        if (pass[i]) bits[i] = '1';
+      }
+      stream << "response " << chip << ' ' << seq << ' ' << bits << "\r\n";
+    }
+  }
+  loop.request_drain();
+  loop.wait();
+  EXPECT_EQ(reports, golden);
+  EXPECT_EQ(loop.metrics().sessions_completed, 1u);
+}
+
+TEST(ServeLoop, DrainFinishesInFlightSessions) {
+  net::ServeOptions options;
+  options.workers = 2;
+  net::TuneServeLoop loop(holder().service, options);
+  loop.start();
+
+  const std::vector<std::string> golden = simulated_report_lines(2);
+
+  // Deterministic overlap: the session is provably in flight (greeting and
+  // header consumed) before the drain lands, and only answered after.
+  net::SocketStream stream(net::connect_to("127.0.0.1", loop.port()));
+  stream << "hello effitest-tune-v1 chips=2\n";
+  stream.flush();
+  std::string line;
+  ASSERT_TRUE(std::getline(stream, line));
+  ASSERT_EQ(line.rfind("serve ", 0), 0u) << line;
+  const std::uint64_t seed = std::stoull(line.substr(line.rfind("seed=") + 5));
+
+  loop.request_drain();  // listener closes NOW; this session must survive
+
+  timing::SampleWorkspace ws;
+  std::vector<timing::Chip> dies;
+  std::vector<core::SimulatedChip> testers;
+  for (std::size_t c = 0; c < 2; ++c) {
+    stats::Rng rng(parallel::index_seed(seed, c));
+    dies.push_back(holder().model.sample_chip(rng, ws));
+  }
+  for (std::size_t c = 0; c < 2; ++c) {
+    testers.emplace_back(holder().problem, dies[c]);
+  }
+  std::vector<std::string> reports;
+  while (std::getline(stream, line)) {
+    if (line == "bye") break;
+    if (line.rfind("report ", 0) == 0) {
+      reports.push_back(line);
+      continue;
+    }
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    if (tag != "stimulus" && tag != "final") continue;
+    std::size_t chip = 0, seq = 0;
+    std::string marker;
+    core::Stimulus stim;
+    ASSERT_TRUE(is >> chip >> seq >> stim.period >> marker);
+    std::string token;
+    bool in_arm = false;
+    while (is >> token) {
+      if (token == "arm") {
+        in_arm = true;
+      } else if (in_arm) {
+        stim.armed.push_back(std::stoul(token));
+      } else {
+        stim.steps.push_back(std::stoi(token));
+      }
+    }
+    std::vector<bool> pass;
+    if (tag == "final") {
+      pass.assign(1, testers[chip].final_test(stim.period, stim.steps));
+    } else {
+      pass = testers[chip].apply(stim);
+    }
+    std::string bits(pass.size(), '0');
+    for (std::size_t i = 0; i < pass.size(); ++i) {
+      if (pass[i]) bits[i] = '1';
+    }
+    stream << "response " << chip << ' ' << seq << ' ' << bits << '\n';
+  }
+  loop.wait();
+  EXPECT_EQ(sorted_by_chip(reports), golden);
+  const net::ServeMetricsSnapshot m = loop.metrics();
+  EXPECT_EQ(m.sessions_completed, 1u);
+  EXPECT_EQ(m.sessions_failed, 0u);
+
+  // And the listener really is gone: a late connection is refused (or
+  // reset), never queued.
+  EXPECT_THROW((void)net::connect_to("127.0.0.1", loop.port()),
+               std::runtime_error);
+}
+
+TEST(ServeLoop, MalformedAndOversizedHellosAreRejected) {
+  net::ServeOptions options;
+  options.workers = 1;
+  options.max_chips_per_session = 4;
+  net::TuneServeLoop loop(holder().service, options);
+  loop.start();
+
+  const auto first_line_for = [&](const std::string& hello) {
+    net::SocketStream stream(net::connect_to("127.0.0.1", loop.port()));
+    stream << hello << '\n';
+    stream.flush();
+    std::string line;
+    EXPECT_TRUE(std::getline(stream, line));
+    return line;
+  };
+
+  EXPECT_EQ(first_line_for("nonsense").rfind("error - ", 0), 0u);
+  EXPECT_EQ(first_line_for("hello effitest-tune-v1").rfind("error - ", 0),
+            0u);
+  EXPECT_EQ(first_line_for("hello effitest-tune-v1 chips=0")
+                .rfind("error - ", 0),
+            0u);
+  const std::string oversized =
+      first_line_for("hello effitest-tune-v1 chips=5");
+  EXPECT_EQ(oversized.rfind("error - ", 0), 0u);
+  EXPECT_NE(oversized.find("per-session limit"), std::string::npos);
+  // At the limit is fine.
+  EXPECT_EQ(first_line_for("hello effitest-tune-v1 chips=4")
+                .rfind("serve effitest-tune-v1 ", 0),
+            0u);
+
+  loop.request_drain();
+  loop.wait();
+  const net::ServeMetricsSnapshot m = loop.metrics();
+  // Four rejected hellos, plus the chips=4 session whose client deserted
+  // right after the greeting.
+  EXPECT_EQ(m.sessions_failed, 5u);
+  EXPECT_EQ(m.sessions_completed, 0u);
+}
+
+TEST(LoadBalancer, DispatchPrefersLeastLoadedWorker) {
+  net::LoadBalancer<int> lb(3);
+  for (int i = 0; i < 6; ++i) EXPECT_TRUE(lb.dispatch(i));
+  EXPECT_EQ(lb.queued(), 6u);
+  // Round-robin-by-load: every worker's own queue got two tasks, so each
+  // worker's first own pop is 0/1/2 in dispatch order.
+  const auto a = lb.next(0);
+  const auto b = lb.next(1);
+  const auto c = lb.next(2);
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(*a + *b + *c, 0 + 1 + 2);
+  EXPECT_EQ(lb.queued(), 3u);
+}
+
+TEST(LoadBalancer, IdleWorkerStealsFromLoadedSibling) {
+  net::LoadBalancer<int> lb(2);
+  // Worker 0 is busy (claimed a task, never finished); everything else
+  // queues behind it or lands on worker 1.
+  EXPECT_TRUE(lb.dispatch(10));
+  const auto first = lb.next(0);
+  ASSERT_TRUE(first);
+  EXPECT_EQ(*first, 10);
+  EXPECT_TRUE(lb.dispatch(11));  // worker 1 (load 0) beats worker 0 (busy)
+  EXPECT_TRUE(lb.dispatch(12));
+  const auto stolen = lb.next(1);
+  ASSERT_TRUE(stolen);
+  lb.task_done(1);
+  const auto second = lb.next(1);  // own queue or steal — drains regardless
+  ASSERT_TRUE(second);
+  EXPECT_EQ(*stolen + *second, 11 + 12);
+  EXPECT_EQ(lb.queued(), 0u);
+}
+
+TEST(LoadBalancer, CloseDrainsBacklogThenReleasesWorkers) {
+  net::LoadBalancer<int> lb(2);
+  EXPECT_TRUE(lb.dispatch(1));
+  EXPECT_TRUE(lb.dispatch(2));
+  lb.close();
+  EXPECT_FALSE(lb.dispatch(3));  // rejected after close
+  std::atomic<int> drained{0};
+  std::vector<std::thread> workers;
+  for (std::size_t w = 0; w < 2; ++w) {
+    workers.emplace_back([&, w] {
+      while (auto task = lb.next(w)) {
+        drained.fetch_add(*task);
+        lb.task_done(w);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(drained.load(), 3);  // 1 + 2, never the rejected 3
+}
+
+}  // namespace

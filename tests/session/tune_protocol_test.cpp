@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <random>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -129,6 +130,153 @@ TEST(TuneProtocol, InOrderReplayReproducesReports) {
   }
   // Byte-identical protocol stream, responses being equal.
   EXPECT_EQ(replay_out.str(), protocol.str());
+}
+
+TEST(TuneProtocol, CrlfReplayReproducesReports) {
+  // A DOS/telnet-style tester terminates every response with \r\n; the
+  // server must strip the \r instead of rejecting every frame as
+  // malformed (the .bench parser got this treatment in PR 5 — the
+  // protocol reader regressed the same way).
+  Fixture f;
+  const core::TunerService service(f.problem, f.options);
+  constexpr std::size_t kChips = 3;
+
+  std::ostringstream protocol, log;
+  const TuneServerResult simulated =
+      TuneServer(service, kChips).run_simulated(protocol, &log);
+
+  std::string crlf_log;
+  for (const std::string& line : lines_of(log.str())) {
+    crlf_log += line;
+    crlf_log += "\r\n";
+  }
+  // Strict mode: every frame must be accepted, reports byte-identical.
+  {
+    std::istringstream replay(crlf_log);
+    std::ostringstream replay_out;
+    const TuneServerResult replayed =
+        TuneServer(service, kChips).run(replay, replay_out);
+    ASSERT_EQ(replayed.reports.size(), kChips);
+    for (std::size_t c = 0; c < kChips; ++c) {
+      expect_reports_equal(replayed.reports[c], simulated.reports[c]);
+    }
+    EXPECT_EQ(replay_out.str(), protocol.str());
+  }
+  // Lenient mode must not misread the frames as garbage either: zero
+  // drops, zero abandoned chips.
+  {
+    std::istringstream replay(crlf_log);
+    std::ostringstream replay_out;
+    TuneServerOptions lenient;
+    lenient.lenient = true;
+    const TuneServerResult replayed =
+        TuneServer(service, kChips, lenient).run(replay, replay_out);
+    EXPECT_EQ(replayed.dropped_lines, 0u);
+    for (const std::string& err : replayed.errors) EXPECT_TRUE(err.empty());
+    for (std::size_t c = 0; c < kChips; ++c) {
+      expect_reports_equal(replayed.reports[c], simulated.reports[c]);
+    }
+  }
+  // A bare CR line (CRLF blank line) is still a blank line, not a frame.
+  {
+    std::istringstream replay("\r\n# comment\r\n" + crlf_log);
+    std::ostringstream replay_out;
+    const TuneServerResult replayed =
+        TuneServer(service, kChips).run(replay, replay_out);
+    for (std::size_t c = 0; c < kChips; ++c) {
+      expect_reports_equal(replayed.reports[c], simulated.reports[c]);
+    }
+  }
+}
+
+TEST(TuneProtocol, ChipWindowBoundsLiveSessionsAndPreservesReports) {
+  // Per-session backpressure: with chip_window=W only W sessions are live
+  // at a time — the initial burst is W stimulus lines, not one per chip —
+  // and the reports stay identical to the unwindowed run for every W.
+  Fixture f;
+  const core::TunerService service(f.problem, f.options);
+  constexpr std::size_t kChips = 5;
+
+  std::ostringstream protocol;
+  const TuneServerResult unwindowed =
+      TuneServer(service, kChips).run_simulated(protocol, nullptr);
+
+  for (const std::size_t window : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}, std::size_t{64}}) {
+    TuneServerOptions opts;
+    opts.chip_window = window;
+    std::ostringstream windowed_protocol, log;
+    const TuneServerResult windowed =
+        TuneServer(service, kChips, opts).run_simulated(windowed_protocol,
+                                                        &log);
+    ASSERT_EQ(windowed.reports.size(), kChips) << "window " << window;
+    EXPECT_EQ(windowed.stimuli, unwindowed.stimuli) << "window " << window;
+    for (std::size_t c = 0; c < kChips; ++c) {
+      expect_reports_equal(windowed.reports[c], unwindowed.reports[c]);
+    }
+
+    // The window really bounds the live set: until the first chip
+    // completes, at most `window` distinct chips appear in the stream —
+    // and every chip is eventually admitted (one seq-0 stimulus each).
+    std::set<std::size_t> live_before_first_report;
+    bool saw_report = false;
+    std::size_t first_stimuli = 0;
+    for (const std::string& line : lines_of(windowed_protocol.str())) {
+      if (line.rfind("report ", 0) == 0) saw_report = true;
+      if (line.rfind("stimulus ", 0) != 0 && line.rfind("final ", 0) != 0) {
+        continue;
+      }
+      std::istringstream is(line);
+      std::string tag;
+      std::size_t chip = 0, seq = 0;
+      is >> tag >> chip >> seq;
+      if (seq == 0) ++first_stimuli;
+      if (!saw_report) live_before_first_report.insert(chip);
+    }
+    EXPECT_LE(live_before_first_report.size(), window)
+        << "window " << window;
+    EXPECT_EQ(first_stimuli, kChips);  // every chip eventually admitted
+
+    // And a windowed REPLAY of the windowed log reproduces the reports:
+    // responses for not-yet-admitted chips wait in the reorder buffer.
+    std::vector<std::string> responses = lines_of(log.str());
+    std::mt19937_64 shuffle_rng(7 + window);
+    std::shuffle(responses.begin(), responses.end(), shuffle_rng);
+    std::istringstream replay(join_lines(responses));
+    std::ostringstream replay_out;
+    const TuneServerResult replayed =
+        TuneServer(service, kChips, opts).run(replay, replay_out);
+    for (std::size_t c = 0; c < kChips; ++c) {
+      expect_reports_equal(replayed.reports[c], unwindowed.reports[c]);
+    }
+  }
+}
+
+TEST(TuneProtocol, ChipWindowInitialBurstIsBounded) {
+  Fixture f;
+  const core::TunerService service(f.problem, f.options);
+  constexpr std::size_t kChips = 6;
+  TuneServerOptions opts;
+  opts.chip_window = 2;
+  opts.lenient = true;
+
+  // Feed an empty stream: the server emits its initial burst, then EOF
+  // abandons everything. Only the 2 admitted chips may have stimuli.
+  std::istringstream empty_in("");
+  std::ostringstream out;
+  const TuneServerResult result =
+      TuneServer(service, kChips, opts).run(empty_in, out);
+  std::size_t stimulus_lines = 0;
+  for (const std::string& line : lines_of(out.str())) {
+    if (line.rfind("stimulus ", 0) == 0 || line.rfind("final ", 0) == 0) {
+      ++stimulus_lines;
+    }
+  }
+  EXPECT_EQ(stimulus_lines, 2u);
+  EXPECT_EQ(result.stimuli, 2u);
+  // Every chip is reported abandoned — the unadmitted ones without ever
+  // seeing a stimulus.
+  for (const std::string& err : result.errors) EXPECT_FALSE(err.empty());
 }
 
 TEST(TuneProtocol, ShuffledOutOfOrderReplayReproducesReports) {

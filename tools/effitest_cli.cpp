@@ -46,6 +46,24 @@
 //             --lenient survives malformed frames: a bad frame abandons
 //             only the chip it names (`error <chip> <reason>` on stdout);
 //             unattributable garbage is dropped and counted.
+//             With --connect=host:port the same command becomes the tester
+//             side of a networked session: it simulates its dies locally
+//             (seeded by the server's greeting) and answers the server's
+//             stimuli over TCP; the report lines are byte-identical to a
+//             local --simulate run. td/quantile/seed/threads are
+//             server-side decisions and are rejected in --connect mode.
+//   serve     --bench=... | --circuit=<name> [--td/--quantile/--seed/...]
+//             [--host=H] [--port=P] [--workers=N] [--max-pending=N]
+//             [--window=W] [--max-chips=N] [--max-sessions=N]
+//             [--io-timeout=S]
+//             TCP serve mode (src/net/serve.hpp): prepare the circuit
+//             once, then multiplex any number of concurrent chip-tuning
+//             sessions — each a `hello effitest-tune-v1 chips=<n>`
+//             connection speaking the tune protocol — across a bounded
+//             worker pool. Prints `serving on <host>:<port>` on stdout
+//             when ready; SIGTERM/SIGINT drain gracefully (stop accepting,
+//             finish every in-flight session) and print the session
+//             metrics (sessions/sec, latency p50/p90/p99) on stderr.
 //
 // Unknown options, unknown flags and stray positional arguments are
 // rejected with a clear error (exit code 2) — a typo like --chip=200 must
@@ -59,8 +77,13 @@
 //   effitest_cli tune --circuit=s9234 --chips=3 --responses=resp.log
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <csignal>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -76,6 +99,8 @@
 #include "io/checkpoint_json.hpp"
 #include "io/scenario_json.hpp"
 #include "io/tune_protocol.hpp"
+#include "net/client.hpp"
+#include "net/serve.hpp"
 #include "netlist/bench_writer.hpp"
 #include "netlist/generator.hpp"
 #include "scenario/circuit_catalog.hpp"
@@ -108,6 +133,70 @@ struct Cli {
 struct UsageError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
+
+/// Checked numeric option parsing. The raw std::stoul/std::stod calls these
+/// replace terminated the process with an uncaught std::invalid_argument on
+/// --chips=abc (and std::out_of_range on an oversized --seed) instead of
+/// the documented usage exit code 2. Every parse names the offending
+/// option and value and rejects trailing junk ("12x"), signs on unsigned
+/// options ("-3") and non-finite doubles ("nan").
+std::uint64_t parse_u64(const std::string& option, const std::string& value) {
+  std::uint64_t out = 0;
+  const char* first = value.data();
+  const char* last = first + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec == std::errc::result_out_of_range) {
+    throw UsageError("--" + option + "=" + value +
+                     " is out of range (maximum " +
+                     std::to_string(std::numeric_limits<std::uint64_t>::max()) +
+                     ")");
+  }
+  if (ec != std::errc() || ptr != last || value.empty()) {
+    throw UsageError("--" + option + "=" + value +
+                     ": expected an unsigned integer");
+  }
+  return out;
+}
+
+std::size_t parse_size(const std::string& option, const std::string& value) {
+  const std::uint64_t out = parse_u64(option, value);
+  if (out > std::numeric_limits<std::size_t>::max()) {
+    throw UsageError("--" + option + "=" + value + " is out of range");
+  }
+  return static_cast<std::size_t>(out);
+}
+
+std::uint16_t parse_port(const std::string& option, const std::string& value) {
+  const std::uint64_t port = parse_u64(option, value);
+  if (port > 65535) {
+    throw UsageError("--" + option + "=" + value +
+                     " is not a TCP port (0-65535)");
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+double parse_double(const std::string& option, const std::string& value) {
+  double out = 0.0;
+  std::size_t consumed = 0;
+  try {
+    out = std::stod(value, &consumed);
+  } catch (const std::invalid_argument&) {
+    throw UsageError("--" + option + "=" + value + ": expected a number");
+  } catch (const std::out_of_range&) {
+    throw UsageError("--" + option + "=" + value +
+                     " is out of range for a double");
+  }
+  if (consumed != value.size()) {
+    throw UsageError("--" + option + "=" + value +
+                     ": expected a number (trailing \"" +
+                     value.substr(consumed) + "\")");
+  }
+  if (!std::isfinite(out)) {
+    throw UsageError("--" + option + "=" + value +
+                     ": expected a finite number");
+  }
+  return out;
+}
 
 Cli parse_cli(int argc, char** argv) {
   Cli cli;
@@ -175,13 +264,25 @@ const std::map<std::string, CommandSpec>& command_specs() {
        {{"spec"}, {}, "circuits [--spec=file.json]"}},
       {"tune",
        {{"bench", "buffers", "policy", "circuit", "chips", "td", "quantile",
-         "seed", "threads", "log", "responses"},
+         "seed", "threads", "log", "responses", "connect", "window"},
         {"simulate", "lenient"},
         "tune     --bench=file [--buffers=N] [--policy=p] | "
         "--circuit=<name>\n"
         "         [--chips=N] [--td=ps] [--quantile=q] [--seed=S]\n"
         "         [--threads=N] [--simulate] [--lenient] [--log=file] "
-        "[--responses=file]"}},
+        "[--responses=file]\n"
+        "         [--window=W] [--connect=host:port]"}},
+      {"serve",
+       {{"bench", "buffers", "policy", "circuit", "td", "quantile", "seed",
+         "threads", "host", "port", "workers", "max-pending", "window",
+         "max-chips", "max-sessions", "io-timeout"},
+        {},
+        "serve    --bench=file [--buffers=N] [--policy=p] | "
+        "--circuit=<name>\n"
+        "         [--td=ps] [--quantile=q] [--seed=S] [--threads=N]\n"
+        "         [--host=H] [--port=P] [--workers=N] [--max-pending=N]\n"
+        "         [--window=W] [--max-chips=N] [--max-sessions=N] "
+        "[--io-timeout=S]"}},
   };
   return specs;
 }
@@ -190,7 +291,7 @@ void usage(std::ostream& os) {
   os << "usage: effitest_cli <command> [options]\ncommands:\n";
   // Stable presentation order (not the map's alphabetical one).
   for (const char* name : {"help", "generate", "info", "ssta", "run",
-                           "campaign", "circuits", "tune"}) {
+                           "campaign", "circuits", "tune", "serve"}) {
     os << "  " << command_specs().at(name).usage << '\n';
   }
   os << "paper circuits: s9234 s13207 s15850 s38584 mem_ctrl usb_funct "
@@ -284,14 +385,16 @@ std::shared_ptr<const scenario::PreparedCircuit> provision_circuit(
           "circuits carry their own buffer set");
     }
     scenario::PaperCircuit spec{*circuit, std::nullopt};
-    if (const auto seed = cli.get("seed")) spec.seed = std::stoull(*seed);
+    if (const auto seed = cli.get("seed")) {
+      spec.seed = parse_u64("seed", *seed);
+    }
     name = *circuit;
     catalog.add(name, spec);
   } else if (const auto path = cli.get("bench")) {
     scenario::BenchCircuit spec;
     spec.path = *path;
     if (const auto buffers = cli.get("buffers")) {
-      spec.num_buffers = std::stoul(*buffers);
+      spec.num_buffers = parse_size("buffers", *buffers);
     }
     if (const auto policy = cli.get("policy")) {
       spec.policy = scenario::buffer_policy_from(*policy);
@@ -308,7 +411,7 @@ int cmd_generate(const Cli& cli) {
   const auto name = cli.get("circuit");
   if (!name) throw std::runtime_error("generate needs --circuit=<name>");
   netlist::GeneratorSpec spec = netlist::paper_benchmark_spec(*name);
-  if (const auto seed = cli.get("seed")) spec.seed = std::stoull(*seed);
+  if (const auto seed = cli.get("seed")) spec.seed = parse_u64("seed", *seed);
   const netlist::GeneratedCircuit gen = netlist::generate_circuit(spec);
   std::cout << "generated " << spec.name << ": "
             << gen.netlist.num_flip_flops() << " FFs, "
@@ -356,7 +459,7 @@ int cmd_ssta(const Cli& cli) {
 
   const core::Problem& problem = circuit->problem;
   const std::size_t chips =
-      cli.get("chips") ? std::stoul(*cli.get("chips")) : 4000;
+      cli.get("chips") ? parse_size("chips", *cli.get("chips")) : 4000;
   stats::Rng rng(11);
   const double mc_t1 = core::period_quantile(problem, 0.5, chips, rng);
   stats::Rng rng2(11);
@@ -380,18 +483,22 @@ int cmd_ssta(const Cli& cli) {
 core::FlowOptions flow_options_from(const Cli& cli,
                                     const core::Problem& problem) {
   core::FlowOptions opts;
-  if (const auto chips = cli.get("chips")) opts.chips = std::stoul(*chips);
-  if (const auto seed = cli.get("seed")) opts.seed = std::stoull(*seed);
-  if (const auto td = cli.get("td")) opts.designated_period = std::stod(*td);
+  if (const auto chips = cli.get("chips")) {
+    opts.chips = parse_size("chips", *chips);
+  }
+  if (const auto seed = cli.get("seed")) opts.seed = parse_u64("seed", *seed);
+  if (const auto td = cli.get("td")) {
+    opts.designated_period = parse_double("td", *td);
+  }
   opts.use_prediction = !cli.has_flag("no-prediction");
   opts.test.align_with_buffers = !cli.has_flag("no-alignment");
   if (const auto threads = cli.get("threads")) {
-    opts.threads = std::stoul(*threads);
+    opts.threads = parse_size("threads", *threads);
   }
   if (const auto q = cli.get("quantile")) {
     stats::Rng rng(opts.seed ^ core::kQuantileCalibrationSeedXor);
     opts.designated_period =
-        core::period_quantile(problem, std::stod(*q), 2000, rng);
+        core::period_quantile(problem, parse_double("quantile", *q), 2000, rng);
   }
   return opts;
 }
@@ -489,14 +596,17 @@ int cmd_campaign(const Cli& cli) {
   // Explicit CLI options override the spec's knobs (and fill the defaults
   // of the spec-less path).
   if (const auto chips = cli.get("chips")) {
-    copts.flow.chips = std::stoul(*chips);
+    copts.flow.chips = parse_size("chips", *chips);
   }
-  if (const auto seed = cli.get("seed")) copts.flow.seed = std::stoull(*seed);
+  if (const auto seed = cli.get("seed")) {
+    copts.flow.seed = parse_u64("seed", *seed);
+  }
   if (const auto threads = cli.get("threads")) {
-    copts.threads = std::stoul(*threads);  // flow.threads of 0 inherits this
+    // flow.threads of 0 inherits this
+    copts.threads = parse_size("threads", *threads);
   }
   if (const auto inflation = cli.get("inflation")) {
-    copts.random_inflation = std::stod(*inflation);
+    copts.random_inflation = parse_double("inflation", *inflation);
   }
 
   if (!cli.get("spec")) {
@@ -512,7 +622,7 @@ int cmd_campaign(const Cli& cli) {
     std::vector<double> quantiles;
     if (const auto qs = cli.get("quantiles")) {
       for (const std::string& q : split_list(*qs)) {
-        quantiles.push_back(std::stod(q));
+        quantiles.push_back(parse_double("quantiles", q));
       }
     }
     jobs = core::CampaignRunner::cross(circuits, quantiles);
@@ -528,7 +638,7 @@ int cmd_campaign(const Cli& cli) {
     return 2;
   }
   if (const auto stop = cli.get("stop-after")) {
-    copts.max_jobs = std::stoul(*stop);
+    copts.max_jobs = parse_size("stop-after", *stop);
     if (copts.max_jobs == 0) {
       std::cerr << "error: campaign: --stop-after must be at least 1\n";
       return 2;
@@ -655,7 +765,69 @@ int cmd_circuits(const Cli& cli) {
   return 0;
 }
 
+/// The tester side of a networked session (`tune --connect=host:port`):
+/// provision the circuit locally (the variation model is all a simulated
+/// tester needs — no offline phase), run one session against the server,
+/// and echo its report lines on stdout.
+int cmd_tune_connect(const Cli& cli, const std::string& target) {
+  // Everything the server decides is rejected loudly rather than silently
+  // ignored: designated period, seeding and threading all live server-side.
+  for (const char* opt : {"responses", "log", "td", "quantile", "seed",
+                          "threads"}) {
+    if (cli.get(opt)) {
+      throw UsageError(std::string("tune: --") + opt +
+                       " is a server-side decision in --connect mode");
+    }
+  }
+  if (cli.has_flag("simulate")) {
+    throw UsageError(
+        "tune: --simulate and --connect are mutually exclusive (a connected "
+        "session already simulates its dies against the server)");
+  }
+  const auto colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == target.size()) {
+    throw UsageError("--connect=" + target + ": expected host:port");
+  }
+  const std::string host = target.substr(0, colon);
+  const std::uint16_t port = parse_port("connect", target.substr(colon + 1));
+
+  const auto circuit = provision_circuit(cli);
+  if (circuit->model.num_pairs() == 0) {
+    std::cerr << "no monitored paths (no FF pair touches a buffer)\n";
+    return 1;
+  }
+  net::ClientOptions copts;
+  if (const auto chips = cli.get("chips")) {
+    copts.chips = parse_size("chips", *chips);
+  }
+  if (const auto window = cli.get("window")) {
+    copts.window = parse_size("window", *window);
+  }
+  copts.lenient = cli.has_flag("lenient");
+  const net::ClientResult result =
+      net::run_loopback_client(host, port, circuit->problem, copts);
+  for (const std::string& line : result.report_lines) {
+    std::cout << line << '\n';
+  }
+  for (const std::string& line : result.error_lines) {
+    std::cerr << line << '\n';
+  }
+  std::cerr << "tuned " << result.report_lines.size() << " chip(s) over "
+            << host << ':' << port << " (session " << result.session_id
+            << ", seed " << result.seed_base << ", "
+            << result.stimuli_answered << " tester iterations)";
+  if (!result.error_lines.empty()) {
+    std::cerr << " (" << result.error_lines.size() << " chip(s) abandoned)";
+  }
+  std::cerr << '\n';
+  return 0;
+}
+
 int cmd_tune(const Cli& cli) {
+  if (const auto target = cli.get("connect")) {
+    return cmd_tune_connect(cli, *target);
+  }
   // Mode exclusivity up front, in the same no-silent-surprises spirit (and
   // with the same usage exit code 2) as the option whitelists: --simulate
   // answers stimuli itself, so a --responses log would be ignored; --log
@@ -676,14 +848,18 @@ int cmd_tune(const Cli& cli) {
     return 1;
   }
   core::FlowOptions opts = flow_options_from(cli, circuit->problem);
-  const std::size_t chips = cli.get("chips") ? std::stoul(*cli.get("chips"))
-                                             : std::size_t{1};
+  const std::size_t chips = cli.get("chips")
+                                ? parse_size("chips", *cli.get("chips"))
+                                : std::size_t{1};
 
   // The shared-ownership constructor: the service keeps the provisioned
   // bundle alive for every session it mints.
   const core::TunerService service(circuit, opts);
   io::TuneServerOptions topts;
   topts.lenient = cli.has_flag("lenient");
+  if (const auto window = cli.get("window")) {
+    topts.chip_window = parse_size("window", *window);
+  }
   io::TuneServer server(service, chips, topts);
 
   io::TuneServerResult result;
@@ -731,6 +907,80 @@ int cmd_tune(const Cli& cli) {
   return 0;
 }
 
+/// SIGTERM/SIGINT target for `serve` — the handler may only do what
+/// request_drain() guarantees is async-signal-safe (atomic store plus one
+/// pipe write).
+net::TuneServeLoop* g_serve_loop = nullptr;
+
+extern "C" void serve_signal_handler(int) {
+  if (g_serve_loop != nullptr) g_serve_loop->request_drain();
+}
+
+int cmd_serve(const Cli& cli) {
+  // Options first, so a typo fails in milliseconds instead of after the
+  // offline phase.
+  net::ServeOptions sopts;
+  if (const auto host = cli.get("host")) sopts.host = *host;
+  if (const auto port = cli.get("port")) {
+    sopts.port = parse_port("port", *port);
+  }
+  if (const auto workers = cli.get("workers")) {
+    sopts.workers = parse_size("workers", *workers);
+    if (sopts.workers == 0) {
+      throw UsageError("--workers must be at least 1");
+    }
+  }
+  if (const auto pending = cli.get("max-pending")) {
+    sopts.max_pending = parse_size("max-pending", *pending);
+  }
+  if (const auto window = cli.get("window")) {
+    sopts.chip_window = parse_size("window", *window);
+  }
+  if (const auto chips = cli.get("max-chips")) {
+    sopts.max_chips_per_session = parse_size("max-chips", *chips);
+  }
+  if (const auto sessions = cli.get("max-sessions")) {
+    sopts.max_sessions = parse_size("max-sessions", *sessions);
+  }
+  if (const auto timeout = cli.get("io-timeout")) {
+    sopts.io_timeout_seconds = parse_double("io-timeout", *timeout);
+  }
+
+  const auto circuit = provision_circuit(cli);
+  if (circuit->model.num_pairs() == 0) {
+    std::cerr << "no monitored paths (no FF pair touches a buffer)\n";
+    return 1;
+  }
+  core::FlowOptions opts = flow_options_from(cli, circuit->problem);
+  const core::TunerService service(circuit, opts);
+
+  net::TuneServeLoop loop(service, sopts);
+  loop.start();
+  g_serve_loop = &loop;
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+  // The line scripts (and the CI smoke step) wait for; std::endl flushes so
+  // a pipe reader sees it before the first session lands.
+  std::cout << "serving on " << loop.host() << ":" << loop.port()
+            << std::endl;
+  loop.wait();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_serve_loop = nullptr;
+
+  const net::ServeMetricsSnapshot m = loop.metrics();
+  std::cerr << "served " << m.sessions_completed << " session(s) ("
+            << m.sessions_failed << " failed), " << m.chips_tuned
+            << " chip(s), " << m.stimuli << " stimuli in "
+            << core::Table::num(m.wall_seconds, 2) << " s ("
+            << core::Table::num(m.sessions_per_sec, 1)
+            << " sessions/s); latency p50/p90/p99 "
+            << core::Table::num(m.latency_p50 * 1e3, 2) << "/"
+            << core::Table::num(m.latency_p90 * 1e3, 2) << "/"
+            << core::Table::num(m.latency_p99 * 1e3, 2) << " ms\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -749,6 +999,7 @@ int main(int argc, char** argv) {
     if (cli.command == "campaign") return cmd_campaign(cli);
     if (cli.command == "circuits") return cmd_circuits(cli);
     if (cli.command == "tune") return cmd_tune(cli);
+    if (cli.command == "serve") return cmd_serve(cli);
     return 2;  // unreachable: validate_cli rejected unknown commands
   } catch (const UsageError& e) {
     std::cerr << "error: " << e.what() << '\n';
