@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -32,6 +33,7 @@
 #include "io/bench_json.hpp"
 #include "net/client.hpp"
 #include "net/serve.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -115,36 +117,44 @@ int main(int argc, char** argv) {
   loop.request_drain();
   loop.wait();
 
-  const net::ServeMetricsSnapshot m = loop.metrics();
+  const obs::RegistrySnapshot m = loop.metrics();
+  const std::uint64_t completed = m.counter(net::kMetricSessionsCompleted);
   const std::size_t expected = sargs.clients * sargs.sessions;
-  if (bad_sessions.load() != 0 || m.sessions_completed != expected) {
+  if (bad_sessions.load() != 0 || completed != expected) {
     std::cerr << "bench_serve: " << bad_sessions.load()
-              << " bad session(s), " << m.sessions_completed << "/"
-              << expected << " completed — not recording\n";
+              << " bad session(s), " << completed << "/" << expected
+              << " completed — not recording\n";
     return 1;
   }
 
+  const obs::HistogramSnapshot* latency =
+      m.histogram(net::kMetricSessionLatency);
+  const auto latency_ms = [latency](double q) {
+    return latency == nullptr ? 0.0 : latency->quantile(q) * 1e3;
+  };
+  const double sessions_per_sec = m.gauge(net::kMetricSessionsPerSec);
+  const double wall_seconds = m.gauge(net::kMetricWallSeconds);
+  const double stimuli_per_session =
+      double(m.counter(net::kMetricStimuli)) / double(completed);
+
   core::Table t({"metric", "value"});
-  t.add_row({"sessions", core::Table::num(double(m.sessions_completed), 0)});
-  t.add_row({"sessions/s", core::Table::num(m.sessions_per_sec, 1)});
-  t.add_row({"stimuli/session",
-             core::Table::num(double(m.stimuli) /
-                                  double(m.sessions_completed),
-                              2)});
-  t.add_row({"latency p50 (ms)", core::Table::num(m.latency_p50 * 1e3, 3)});
-  t.add_row({"latency p90 (ms)", core::Table::num(m.latency_p90 * 1e3, 3)});
-  t.add_row({"latency p99 (ms)", core::Table::num(m.latency_p99 * 1e3, 3)});
+  t.add_row({"sessions", core::Table::num(double(completed), 0)});
+  t.add_row({"sessions/s", core::Table::num(sessions_per_sec, 1)});
+  t.add_row({"stimuli/session", core::Table::num(stimuli_per_session, 2)});
+  t.add_row({"latency p50 (ms)", core::Table::num(latency_ms(0.50), 3)});
+  t.add_row({"latency p90 (ms)", core::Table::num(latency_ms(0.90), 3)});
+  t.add_row({"latency p99 (ms)", core::Table::num(latency_ms(0.99), 3)});
   t.print(std::cout);
 
   io::JsonReporter json("serve", sargs.workers);
   const std::string circuit = spec.name;
-  json.add(circuit, "sessions_per_sec", m.sessions_per_sec, m.wall_seconds);
-  json.add(circuit, "stimuli_per_session",
-           double(m.stimuli) / double(m.sessions_completed), m.wall_seconds);
-  json.add(circuit, "chips_tuned", double(m.chips_tuned), m.wall_seconds);
-  json.add(circuit, "latency_p50_ms", m.latency_p50 * 1e3, m.wall_seconds);
-  json.add(circuit, "latency_p90_ms", m.latency_p90 * 1e3, m.wall_seconds);
-  json.add(circuit, "latency_p99_ms", m.latency_p99 * 1e3, m.wall_seconds);
+  json.add(circuit, "sessions_per_sec", sessions_per_sec, wall_seconds);
+  json.add(circuit, "stimuli_per_session", stimuli_per_session, wall_seconds);
+  json.add(circuit, "chips_tuned",
+           double(m.counter(net::kMetricChipsTuned)), wall_seconds);
+  json.add(circuit, "latency_p50_ms", latency_ms(0.50), wall_seconds);
+  json.add(circuit, "latency_p90_ms", latency_ms(0.90), wall_seconds);
+  json.add(circuit, "latency_p99_ms", latency_ms(0.99), wall_seconds);
   json.write(".");
   return 0;
 }

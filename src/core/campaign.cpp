@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/yield.hpp"
+#include "obs/log.hpp"
 #include "parallel/deterministic_for.hpp"
 #include "scenario/circuit_catalog.hpp"
 
@@ -166,9 +167,19 @@ CampaignResult CampaignRunner::run(
       if (prepared == nullptr) {
         prepared = std::move(result.artifacts);  // shared, not copied
       }
-      if (options_.on_job_complete) {
+      if (options_.on_job_complete || options_.log != nullptr) {
         const std::lock_guard<std::mutex> lock(sink_mutex);
-        options_.on_job_complete(idx, slot);
+        if (options_.log != nullptr) {
+          options_.log->emit(
+              "campaign", "job_complete",
+              {obs::LogField::u64("index", static_cast<std::uint64_t>(idx)),
+               obs::LogField::str("circuit", job.circuit),
+               obs::LogField::f64("quantile", job.quantile),
+               obs::LogField::f64("td", slot.metrics.designated_period),
+               obs::LogField::f64("ra", slot.metrics.ra),
+               obs::LogField::f64("seconds", slot.seconds)});
+        }
+        if (options_.on_job_complete) options_.on_job_complete(idx, slot);
       }
     }
   });

@@ -36,6 +36,10 @@ namespace effitest::scenario {
 class CircuitCatalog;
 }  // namespace effitest::scenario
 
+namespace effitest::obs {
+class StructuredLog;
+}  // namespace effitest::obs
+
 namespace effitest::core {
 
 /// One flow invocation of a campaign.
@@ -122,6 +126,10 @@ struct CampaignOptions {
   /// The deterministic "kill at job boundary k" knob: the campaign stops
   /// cleanly with the remaining jobs marked not-completed, ready to resume.
   std::size_t max_jobs = 0;
+  /// Structured event log: one `campaign`/`job_complete` event per newly
+  /// finished job (serialized with on_job_complete), or nullptr for none.
+  /// Purely observational — results are bit-identical with or without it.
+  obs::StructuredLog* log = nullptr;
 };
 
 class CampaignRunner {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/yield.hpp"
+#include "obs/log.hpp"
 #include "scenario/circuit_catalog.hpp"
 
 namespace effitest::core {
@@ -47,6 +48,10 @@ TuningSession::TuningSession(const Problem& problem,
       options_(options),
       machine_(problem, artifacts_->batches, artifacts_->prior_lower,
                artifacts_->prior_upper, artifacts_->hold, test_options) {
+  if (options_.log != nullptr) {
+    options_.log->emit("session", "chip_begin",
+                       {obs::LogField::u64("chip", options_.chip)});
+  }
   if (machine_.done()) on_test_complete();  // degenerate: nothing to test
 }
 
@@ -88,6 +93,21 @@ void TuningSession::record_final(bool passed) {
   }
   report_.passed = passed;
   phase_ = SessionPhase::kDone;
+  emit_report();
+}
+
+void TuningSession::emit_report() const {
+  if (options_.log == nullptr) return;
+  options_.log->emit(
+      "session", "chip_report",
+      {obs::LogField::u64("chip", options_.chip),
+       obs::LogField::u64("iterations",
+                          static_cast<std::uint64_t>(report_.test.iterations)),
+       obs::LogField::boolean("feasible", report_.config.feasible),
+       obs::LogField::str("passed",
+                          report_.passed.has_value()
+                              ? (*report_.passed ? "1" : "0")
+                              : "-")});
 }
 
 void TuningSession::on_test_complete() {
@@ -120,11 +140,18 @@ void TuningSession::on_test_complete() {
     final_stimulus_.steps = report_.config.steps;
     final_stimulus_.armed.clear();
     phase_ = SessionPhase::kFinalTest;
+    if (options_.log != nullptr) {
+      options_.log->emit(
+          "session", "final_test",
+          {obs::LogField::u64("chip", options_.chip),
+           obs::LogField::f64("period", designated_period_)});
+    }
   } else {
     // An infeasible configuration rejects the chip outright; with the
     // final test disabled the outcome is simply not evaluated.
     if (options_.final_test) report_.passed = false;
     phase_ = SessionPhase::kDone;
+    emit_report();
   }
 }
 

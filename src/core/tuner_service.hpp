@@ -42,6 +42,10 @@ namespace effitest::scenario {
 struct PreparedCircuit;
 }  // namespace effitest::scenario
 
+namespace effitest::obs {
+class StructuredLog;
+}  // namespace effitest::obs
+
 namespace effitest::core {
 
 /// One physical (or simulated) chip on the tester. Implementations answer
@@ -96,6 +100,13 @@ struct SessionOptions {
   /// Run the final go/no-go production test after configuration. Skipped
   /// automatically (passed = false) when configuration is infeasible.
   bool final_test = true;
+  /// Structured event log for session transitions (chip_begin, final_test,
+  /// chip_report), or nullptr for none — the zero-overhead default.
+  /// Logging never feeds back into tuning: sessions stay pure functions
+  /// of their responses (the determinism contract above).
+  obs::StructuredLog* log = nullptr;
+  /// Identifies the chip in log events (the caller's die index).
+  std::uint64_t chip = 0;
 };
 
 enum class SessionPhase : std::uint8_t {
@@ -145,6 +156,8 @@ class TuningSession {
   /// Test finished: predict untested delays, configure the buffers, and
   /// either arm the final go/no-go stimulus or complete.
   void on_test_complete();
+  /// chip_report log event, emitted on every kDone transition.
+  void emit_report() const;
 
   const Problem* problem_;
   std::shared_ptr<const FlowArtifacts> artifacts_;

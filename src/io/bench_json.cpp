@@ -1,57 +1,14 @@
 #include "io/bench_json.hpp"
 
-#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
-#include <iomanip>
-#include <limits>
-#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "io/json.hpp"
+
 namespace effitest::io {
-
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          std::ostringstream esc;
-          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
-              << static_cast<int>(c);
-          out += esc.str();
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";
-  std::ostringstream os;
-  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
-  return os.str();
-}
-
-}  // namespace
 
 std::string git_sha() {
 #ifdef EFFITEST_GIT_SHA
@@ -80,28 +37,31 @@ std::string JsonReporter::write(const std::string& dir) const {
 }
 
 std::string JsonReporter::write_file(const std::string& path) const {
-  std::ostringstream os;
-  os << "{\n"
-     << "  \"schema\": \"effitest-bench-v1\",\n"
-     << "  \"bench\": \"" << json_escape(name_) << "\",\n"
-     << "  \"git_sha\": \"" << json_escape(git_sha()) << "\",\n"
-     << "  \"threads\": " << threads_ << ",\n"
-     << "  \"records\": [";
+  // Layout (indentation, one record per line) is part of the committed
+  // byte-exact shape check_bench_json.py --diff relies on; escaping and
+  // number formatting come from the shared json::Writer.
+  json::Writer w;
+  w.raw("{\n  ").key("schema").string("effitest-bench-v1");
+  w.raw(",\n  ").key("bench").string(name_);
+  w.raw(",\n  ").key("git_sha").string(git_sha());
+  w.raw(",\n  ").key("threads").number(static_cast<std::uint64_t>(threads_));
+  w.raw(",\n  ").key("records").raw("[");
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const Record& r = records_[i];
-    os << (i == 0 ? "\n" : ",\n")
-       << "    { \"circuit\": \"" << json_escape(r.circuit) << "\","
-       << " \"metric\": \"" << json_escape(r.metric) << "\","
-       << " \"value\": " << json_number(r.value) << ","
-       << " \"wall_seconds\": " << json_number(r.wall_seconds) << " }";
+    w.raw(i == 0 ? "\n" : ",\n");
+    w.raw("    { ").key("circuit").string(r.circuit);
+    w.raw(", ").key("metric").string(r.metric);
+    w.raw(", ").key("value").number(r.value);
+    w.raw(", ").key("wall_seconds").number(r.wall_seconds);
+    w.raw(" }");
   }
-  os << (records_.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  w.raw(records_.empty() ? "]\n" : "\n  ]\n").raw("}\n");
 
   std::ofstream file(path);
   if (!file) {
     throw std::runtime_error("JsonReporter: cannot open " + path);
   }
-  file << os.str();
+  file << w.str();
   if (!file.good()) {
     throw std::runtime_error("JsonReporter: write failed for " + path);
   }

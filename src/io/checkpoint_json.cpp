@@ -129,36 +129,35 @@ core::FlowMetrics read_metrics(const std::string& path,
 
 // --- serialization ---------------------------------------------------------
 
-void append_metrics(std::string& out, const core::FlowMetrics& m) {
-  out += '{';
+void append_metrics(json::Writer& w, const core::FlowMetrics& m) {
+  w.raw("{");
   bool first = true;
   const auto sep = [&] {
-    if (!first) out += ", ";
+    if (!first) w.raw(", ");
     first = false;
   };
   for (const SizeField& f : kSizeFields) {
     sep();
-    out += json::quote(f.name) + ": " + std::to_string(m.*(f.member));
+    w.key(f.name).number(static_cast<std::uint64_t>(m.*(f.member)));
   }
   for (const DoubleField& f : kDoubleFields) {
     sep();
-    out += json::quote(f.name) + ": " + json::format_double(m.*(f.member));
+    w.key(f.name).number(m.*(f.member));
   }
-  out += '}';
+  w.raw("}");
 }
 
-void append_entry(std::string& out, std::size_t index,
+void append_entry(json::Writer& w, std::size_t index,
                   const core::CampaignJobResult& result) {
-  out += "    {\"index\": " + std::to_string(index) + ",\n";
-  out += "     \"job\": {\"circuit\": " + json::quote(result.job.circuit) +
-         ", \"designated_period\": " +
-         json::format_double(result.job.designated_period) +
-         ", \"quantile\": " + json::format_double(result.job.quantile) +
-         "},\n";
-  out += "     \"seconds\": " + json::format_double(result.seconds) + ",\n";
-  out += "     \"metrics\": ";
-  append_metrics(out, result.metrics);
-  out += "}";
+  w.raw("    {").key("index").number(static_cast<std::uint64_t>(index));
+  w.raw(",\n     ").key("job");
+  w.raw("{").key("circuit").string(result.job.circuit);
+  w.raw(", ").key("designated_period").number(result.job.designated_period);
+  w.raw(", ").key("quantile").number(result.job.quantile);
+  w.raw("},\n     ").key("seconds").number(result.seconds);
+  w.raw(",\n     ").key("metrics");
+  append_metrics(w, result.metrics);
+  w.raw("}");
 }
 
 std::uint64_t fnv1a64(const std::string& s) {
@@ -328,18 +327,20 @@ void CheckpointWriter::record(std::size_t index,
 }
 
 void CheckpointWriter::write_locked() const {
-  std::string out = "{\n";
-  out += "  \"schema\": " + std::string(json::quote(kSchema)) + ",\n";
-  out += "  \"identity\": " + json::quote(identity_) + ",\n";
-  out += "  \"total_jobs\": " + std::to_string(total_jobs_) + ",\n";
-  out += "  \"completed\": [";
+  json::Writer w;
+  w.raw("{\n  ").key("schema").string(kSchema);
+  w.raw(",\n  ").key("identity").string(identity_);
+  w.raw(",\n  ").key("total_jobs").number(
+      static_cast<std::uint64_t>(total_jobs_));
+  w.raw(",\n  ").key("completed").raw("[");
   bool first = true;
   for (const auto& [index, result] : completed_) {
-    out += first ? "\n" : ",\n";
+    w.raw(first ? "\n" : ",\n");
     first = false;
-    append_entry(out, index, result);
+    append_entry(w, index, result);
   }
-  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  w.raw(first ? "]\n}\n" : "\n  ]\n}\n");
+  const std::string out = w.take();
 
   // Temp + fsync + rename + directory fsync: a kill at any instant leaves
   // a complete checkpoint (the previous one or this one) on disk, never a

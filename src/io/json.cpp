@@ -161,6 +161,47 @@ Value Parser::parse_value() {
   fail(std::string("unexpected character '") + c + "'");
 }
 
+namespace {
+
+void append_utf8(std::string& out, unsigned code) {
+  if (code < 0x80) {
+    out += static_cast<char>(code);
+  } else if (code < 0x800) {
+    out += static_cast<char>(0xC0 | (code >> 6));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  } else if (code < 0x10000) {
+    out += static_cast<char>(0xE0 | (code >> 12));
+    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (code >> 18));
+    out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (code & 0x3F));
+  }
+}
+
+}  // namespace
+
+unsigned Parser::parse_hex4() {
+  unsigned code = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos_ >= text_.size()) fail("unterminated escape");
+    const char h = text_[pos_++];
+    code <<= 4;
+    if (h >= '0' && h <= '9') {
+      code |= static_cast<unsigned>(h - '0');
+    } else if (h >= 'a' && h <= 'f') {
+      code |= static_cast<unsigned>(h - 'a' + 10);
+    } else if (h >= 'A' && h <= 'F') {
+      code |= static_cast<unsigned>(h - 'A' + 10);
+    } else {
+      fail(std::string("malformed \\u escape digit '") + h + "'");
+    }
+  }
+  return code;
+}
+
 std::string Parser::parse_string() {
   ++pos_;  // opening quote (peeked by caller)
   std::string out;
@@ -184,6 +225,27 @@ std::string Parser::parse_string() {
       case 'r': out += '\r'; break;
       case 'b': out += '\b'; break;
       case 'f': out += '\f'; break;
+      case 'u': {
+        // UTF-16 code unit(s): a high surrogate must be followed by a
+        // \u-escaped low surrogate; the pair decodes to one code point.
+        unsigned code = parse_hex4();
+        if (code >= 0xD800 && code <= 0xDBFF) {
+          if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+              text_[pos_ + 1] != 'u') {
+            fail("unpaired surrogate in \\u escape");
+          }
+          pos_ += 2;
+          const unsigned low = parse_hex4();
+          if (low < 0xDC00 || low > 0xDFFF) {
+            fail("unpaired surrogate in \\u escape");
+          }
+          code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else if (code >= 0xDC00 && code <= 0xDFFF) {
+          fail("unpaired surrogate in \\u escape");
+        }
+        append_utf8(out, code);
+        break;
+      }
       default:
         fail(std::string("unsupported escape \\") + e);
     }
@@ -241,11 +303,56 @@ std::string quote(const std::string& s) {
       case '\r': out += "\\r"; break;
       case '\b': out += "\\b"; break;
       case '\f': out += "\\f"; break;
-      default: out += c;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
     }
   }
   out += '"';
   return out;
+}
+
+Writer& Writer::raw(std::string_view text) {
+  out_.append(text);
+  return *this;
+}
+
+Writer& Writer::key(const std::string& k) {
+  out_ += quote(k);
+  out_ += ": ";
+  return *this;
+}
+
+Writer& Writer::string(const std::string& s) {
+  out_ += quote(s);
+  return *this;
+}
+
+Writer& Writer::number(double v) {
+  // Non-finite doubles have no JSON representation; every schema in the
+  // tree (bench, checkpoint, status) maps them to null.
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  out_ += format_double(v);
+  return *this;
+}
+
+Writer& Writer::number(std::uint64_t v) {
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::boolean(bool v) {
+  out_ += v ? "true" : "false";
+  return *this;
 }
 
 }  // namespace effitest::io::json

@@ -16,8 +16,10 @@
 // nesting guard) or trip a sanitizer.
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -72,6 +74,7 @@ class Parser {
   bool consume_keyword(const char* kw);
   Value parse_value();
   std::string parse_string();
+  unsigned parse_hex4();
   double parse_number();
 
   const std::string& text_;
@@ -86,7 +89,30 @@ class Parser {
 [[nodiscard]] std::string format_double(double v);
 
 /// A JSON string literal (quotes included) with the escapes the Parser
-/// understands — quote/parse round-trips any byte string.
+/// understands — quote/parse round-trips any byte string. Control bytes
+/// without a named escape are emitted as \u00XX.
 [[nodiscard]] std::string quote(const std::string& s);
+
+/// Incremental JSON text builder shared by every emitter in the tree
+/// (bench reports, campaign checkpoints, obs log/status rendering).
+/// Escaping and double formatting live here — in quote()/format_double()
+/// — and nowhere else; layout (indentation, newlines, commas) stays with
+/// the caller via raw(), so each schema keeps its committed byte-exact
+/// shape.
+class Writer {
+ public:
+  Writer& raw(std::string_view text);       ///< verbatim structural text
+  Writer& key(const std::string& k);        ///< `"k": ` (caller adds commas)
+  Writer& string(const std::string& s);     ///< quoted + escaped
+  Writer& number(double v);                 ///< format_double; non-finite → null
+  Writer& number(std::uint64_t v);
+  Writer& boolean(bool v);
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
 
 }  // namespace effitest::io::json

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "parallel/deterministic_for.hpp"
 #include "timing/model.hpp"
 
@@ -54,11 +55,14 @@ struct ChipSlot {
 class Exchange {
  public:
   Exchange(const core::TunerService& service, std::size_t chips,
-           std::size_t window, std::ostream& out)
+           const TuneServerOptions& options, std::ostream& out)
       : service_(&service),
         out_(&out),
         slots_(chips),
-        window_(window == 0 ? chips : std::min(window, chips)),
+        window_(options.chip_window == 0 ? chips
+                                         : std::min(options.chip_window, chips)),
+        live_stimuli_(options.live_stimuli),
+        log_(options.log),
         unfinished_(chips),
         errors_(chips) {
     const core::Problem& problem = service.problem();
@@ -154,7 +158,10 @@ class Exchange {
       const std::size_t c = next_unstarted_++;
       ChipSlot& s = slots_[c];
       s.started = true;
-      s.session.emplace(service_->begin_chip());
+      core::SessionOptions sopts;
+      sopts.log = log_;
+      sopts.chip = c;
+      s.session.emplace(service_->begin_chip(sopts));
       emit_next(c);
       if (!s.finished) ++active_;
       admitted_.push_back(c);
@@ -187,12 +194,15 @@ class Exchange {
     }
     *out_ << '\n';
     ++stimuli_;
+    if (live_stimuli_ != nullptr) live_stimuli_->inc();
   }
 
   const core::TunerService* service_;
   std::ostream* out_;
   std::vector<ChipSlot> slots_;
   std::size_t window_ = 0;           ///< live-session bound (== chips: off)
+  obs::Counter* live_stimuli_ = nullptr;
+  obs::StructuredLog* log_ = nullptr;
   std::size_t next_unstarted_ = 0;   ///< chips [0, this) have been admitted
   std::size_t active_ = 0;           ///< started && !finished
   bool admitting_ = true;
@@ -229,7 +239,7 @@ TuneServer::TuneServer(const core::TunerService& service, std::size_t chips,
     : service_(&service), chips_(chips), options_(options) {}
 
 TuneServerResult TuneServer::run(std::istream& in, std::ostream& out) {
-  Exchange exchange(*service_, chips_, options_.chip_window, out);
+  Exchange exchange(*service_, chips_, options_, out);
   const bool lenient = options_.lenient;
   // No legal response is ever wider than np (a final line carries one bit),
   // so anything wider is rejected before it can occupy the reorder buffer.
@@ -401,7 +411,7 @@ TuneServerResult TuneServer::run_simulated(std::ostream& out,
     testers.emplace_back(problem, dies[c]);
   }
 
-  Exchange exchange(*service_, chips_, options_.chip_window, out);
+  Exchange exchange(*service_, chips_, options_, out);
   // Round-robin: one stimulus/response exchange per unfinished chip per
   // sweep, so a logged session interleaves chips (the interesting replay
   // case). With a chip window only admitted chips participate; finishing

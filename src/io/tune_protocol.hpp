@@ -57,6 +57,11 @@
 
 #include "core/tuner_service.hpp"
 
+namespace effitest::obs {
+class Counter;
+class StructuredLog;
+}  // namespace effitest::obs
+
 namespace effitest::io {
 
 struct TuneServerOptions {
@@ -74,6 +79,14 @@ struct TuneServerOptions {
   /// chips simply wait in the (chip, seq) reorder buffer, still bounded by
   /// kMaxPendingWindow semantics.
   std::size_t chip_window = 0;
+  /// Live stimulus counter (obs registry), bumped as each stimulus/final
+  /// line is emitted — what the serve loop's `status` endpoint reports
+  /// mid-session. nullptr: not counted live (TuneServerResult::stimuli is
+  /// still the per-run total either way).
+  obs::Counter* live_stimuli = nullptr;
+  /// Structured event log threaded into every minted TuningSession
+  /// (chip_begin / final_test / chip_report events), or nullptr for none.
+  obs::StructuredLog* log = nullptr;
 };
 
 struct TuneServerResult {

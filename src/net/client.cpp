@@ -155,4 +155,21 @@ ClientResult run_loopback_client(const std::string& host, std::uint16_t port,
       "connect: server closed the connection before bye");
 }
 
+std::string fetch_status(const std::string& host, std::uint16_t port) {
+  SocketStream stream(connect_to(host, port));
+  // Harmless on a --status-port endpoint: it answers unprompted and never
+  // reads, so the same client drives both kinds of status socket.
+  stream << "status\n";
+  stream.flush();
+  std::string line;
+  if (!std::getline(stream, line)) {
+    throw std::runtime_error("status: server closed without replying");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.empty()) {
+    throw std::runtime_error("status: empty reply");
+  }
+  return line;
+}
+
 }  // namespace effitest::net

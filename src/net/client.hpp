@@ -48,4 +48,13 @@ struct ClientResult {
                                                const core::Problem& problem,
                                                const ClientOptions& options);
 
+/// Poll a server's live metrics: send the in-band `status` request (a
+/// connection whose first line is `status` instead of a hello) and return
+/// the one-line `effitest-status-v1` JSON reply. Also works verbatim
+/// against a --status-port endpoint, which sends the line unprompted and
+/// ignores the request. Throws std::runtime_error on connection failure
+/// or an empty reply.
+[[nodiscard]] std::string fetch_status(const std::string& host,
+                                       std::uint16_t port);
+
 }  // namespace effitest::net

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "io/tune_protocol.hpp"
+#include "obs/log.hpp"
 
 namespace effitest::net {
 
@@ -82,39 +83,26 @@ Hello parse_hello(const std::string& line, const ServeOptions& options) {
 
 }  // namespace
 
-void LatencyHistogram::record(double seconds) {
-  const double us = seconds * 1e6;
-  std::size_t bucket = 0;
-  if (us >= 1.0) {
-    bucket = static_cast<std::size_t>(std::log2(us));
-    bucket = std::min(bucket, kBuckets - 1);
-  }
-  ++buckets_[bucket];
-  ++count_;
-}
-
-double LatencyHistogram::quantile(double q) const {
-  if (count_ == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  // Rank of the q-quantile sample, 1-based; walk the cumulative counts.
-  const std::size_t rank = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(q * static_cast<double>(count_))));
-  std::size_t seen = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b];
-    if (seen >= rank) {
-      // Geometric midpoint of [2^b, 2^(b+1)) microseconds, in seconds.
-      return std::exp2(static_cast<double>(b) + 0.5) * 1e-6;
-    }
-  }
-  return std::exp2(static_cast<double>(kBuckets)) * 1e-6;
-}
-
 TuneServeLoop::TuneServeLoop(const core::TunerService& service,
                              ServeOptions options)
     : service_(&service),
       options_(std::move(options)),
-      balancer_(options_.workers == 0 ? 1 : options_.workers) {}
+      balancer_(options_.workers == 0 ? 1 : options_.workers),
+      accepted_(&registry_.counter(kMetricSessionsAccepted)),
+      completed_(&registry_.counter(kMetricSessionsCompleted)),
+      failed_(&registry_.counter(kMetricSessionsFailed)),
+      chips_tuned_(&registry_.counter(kMetricChipsTuned)),
+      stimuli_(&registry_.counter(kMetricStimuli)),
+      status_requests_(&registry_.counter(kMetricStatusRequests)),
+      active_sessions_(&registry_.gauge(kMetricActiveSessions)),
+      wall_seconds_(&registry_.gauge(kMetricWallSeconds)),
+      sessions_per_sec_(&registry_.gauge(kMetricSessionsPerSec)),
+      latency_(&registry_.histogram(kMetricSessionLatency)) {
+  // Bound before any thread exists (the Gauge::bind contract).
+  registry_.gauge(kMetricQueueDepth).bind([this] {
+    return static_cast<double>(balancer_.queued());
+  });
+}
 
 TuneServeLoop::~TuneServeLoop() {
   request_drain();
@@ -134,8 +122,14 @@ void TuneServeLoop::start() {
   listener_ = std::make_unique<Listener>(options_.host, options_.port,
                                          options_.listen_backlog);
   port_ = listener_->port();
+  if (options_.status_port >= 0) {
+    status_listener_ = std::make_unique<Listener>(
+        options_.host, static_cast<std::uint16_t>(options_.status_port),
+        options_.listen_backlog);
+    status_port_ = status_listener_->port();
+  }
   {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    std::lock_guard<std::mutex> lock(time_mutex_);
     started_at_ = std::chrono::steady_clock::now();
   }
   threads_.reserve(balancer_.workers() + 1);
@@ -159,7 +153,7 @@ void TuneServeLoop::wait() {
     if (t.joinable()) t.join();
   }
   threads_.clear();
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  std::lock_guard<std::mutex> lock(time_mutex_);
   if (!drained_ && started_.load()) {
     drained_ = true;
     drained_at_ = std::chrono::steady_clock::now();
@@ -169,27 +163,39 @@ void TuneServeLoop::wait() {
 void TuneServeLoop::accept_loop() {
   std::size_t accepted = 0;
   while (!draining_.load(std::memory_order_relaxed)) {
-    // Backpressure: with the backlog full, poll only the drain pipe and
-    // re-check the queue on a short tick — pending connections sit in the
-    // kernel's listen queue, nobody is rejected.
+    // Backpressure: with the backlog full, stop watching the tune listener
+    // and re-check the queue on a short tick — pending connections sit in
+    // the kernel's listen queue, nobody is rejected. The status listener
+    // stays in the poll set even then: observability must keep answering
+    // exactly when the fleet is saturated.
     const bool paused = balancer_.queued() >= options_.max_pending;
-    pollfd fds[2];
-    fds[0] = {drain_pipe_r_.fd(), POLLIN, 0};
-    fds[1] = {listener_->fd(), POLLIN, 0};
-    const int n = ::poll(fds, paused ? 1 : 2, paused ? 50 : 500);
+    pollfd fds[3];
+    nfds_t nfds = 0;
+    fds[nfds++] = {drain_pipe_r_.fd(), POLLIN, 0};
+    std::size_t tune_idx = 0;
+    if (!paused) {
+      tune_idx = nfds;
+      fds[nfds++] = {listener_->fd(), POLLIN, 0};
+    }
+    std::size_t status_idx = 0;
+    if (status_listener_ != nullptr) {
+      status_idx = nfds;
+      fds[nfds++] = {status_listener_->fd(), POLLIN, 0};
+    }
+    const int n = ::poll(fds, nfds, paused ? 50 : 500);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
     if (fds[0].revents != 0) break;  // drain requested
-    if (paused || n == 0 || (fds[1].revents & POLLIN) == 0) continue;
+    if (status_listener_ != nullptr && status_idx != 0 &&
+        (fds[status_idx].revents & POLLIN) != 0) {
+      answer_status_connection();
+    }
+    if (paused || n == 0 || (fds[tune_idx].revents & POLLIN) == 0) continue;
     Socket conn = listener_->accept();
     if (!conn.valid()) continue;
     conn.set_io_timeout(options_.io_timeout_seconds);
-    {
-      std::lock_guard<std::mutex> lock(metrics_mutex_);
-      ++sessions_accepted_;
-    }
     balancer_.dispatch(std::move(conn));
     ++accepted;
     if (options_.max_sessions != 0 && accepted >= options_.max_sessions) {
@@ -200,7 +206,28 @@ void TuneServeLoop::accept_loop() {
   // Stop the kernel from queueing more connections, then let the workers
   // finish everything already accepted.
   listener_->close();
+  if (status_listener_ != nullptr) status_listener_->close();
   balancer_.close();
+}
+
+void TuneServeLoop::answer_status_connection() {
+  // Runs on the accept thread: a short send timeout keeps one stalled
+  // poller from ever blocking accepts for long.
+  Socket conn = status_listener_->accept();
+  if (!conn.valid()) return;
+  conn.set_io_timeout(1.0);
+  status_requests_->inc();  // before rendering, so the reply includes itself
+  const std::string line = status_json() + "\n";
+  SocketStream stream(std::move(conn));
+  stream << line;
+  stream.flush();
+  // Drain whatever the poller sent (fetch_status writes "status\n" to
+  // work against both kinds of status socket) before closing: closing
+  // with unread input makes TCP answer the client's bytes with an RST,
+  // which can destroy the reply still sitting in its receive buffer. The
+  // 1s io timeout above bounds a poller that neither writes nor closes.
+  std::string discard;
+  (void)std::getline(stream, discard);
 }
 
 void TuneServeLoop::worker_loop(std::size_t w) {
@@ -212,40 +239,57 @@ void TuneServeLoop::worker_loop(std::size_t w) {
 
 void TuneServeLoop::serve_connection(Socket socket) {
   const auto session_start = std::chrono::steady_clock::now();
-  {
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++active_sessions_;
-  }
   SocketStream stream(std::move(socket));
   std::string line;
   Hello hello;
-  if (!std::getline(stream, line)) {
+  bool got_line = false;
+  if (std::getline(stream, line)) {
+    got_line = true;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+  }
+  // An in-band status poll: answer and close without touching the session
+  // counters, so watching a fleet does not change what it reports (the
+  // poll itself shows up in serve.status_requests — incremented before
+  // rendering, so every reply already includes itself).
+  if (got_line && line == "status") {
+    status_requests_->inc();
+    stream << status_json() << '\n';
+    stream.flush();
+    return;
+  }
+  accepted_->inc();
+  active_sessions_->add(1.0);
+  if (!got_line) {
     hello.error = "connection closed before hello";
   } else {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
     hello = parse_hello(line, options_);
   }
   bool completed = false;
+  std::uint64_t id = 0;
   std::size_t chips = 0;
-  std::size_t stimuli = 0;
+  std::string failure = hello.error;
   if (hello.error.empty()) {
-    const std::uint64_t id = next_session_id_.fetch_add(1);
+    id = next_session_id_.fetch_add(1);
     stream << "serve effitest-tune-v1 session=" << id
            << " seed=" << service_->monte_carlo_seed_base() << '\n';
     stream.flush();
     io::TuneServerOptions topts;
     topts.lenient = hello.lenient;
     topts.chip_window = hello.window;
+    topts.live_stimuli = stimuli_;
+    topts.log = options_.log;
     io::TuneServer server(*service_, hello.chips, topts);
     try {
-      const io::TuneServerResult result = server.run(stream, stream);
+      // Stimuli are counted live through topts.live_stimuli as each line
+      // is emitted; the result total is not re-added here.
+      (void)server.run(stream, stream);
       stream.flush();  // the trailing report/bye lines have no read after
       completed = true;
       chips = hello.chips;
-      stimuli = result.stimuli;
     } catch (const std::exception& e) {
       // Strict-mode bad frame or a vanished client: this session dies, its
       // siblings never notice. Best effort notice to a peer still there.
+      failure = e.what();
       stream << "error - " << e.what() << '\n';
       stream.flush();
     }
@@ -257,39 +301,49 @@ void TuneServeLoop::serve_connection(Socket socket) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     session_start)
           .count();
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
-  --active_sessions_;
+  active_sessions_->add(-1.0);
   if (completed) {
-    ++sessions_completed_;
-    chips_tuned_ += chips;
-    stimuli_ += stimuli;
-    latency_.record(seconds);
+    completed_->inc();
+    chips_tuned_->inc(chips);
+    latency_->record(seconds);
+    if (options_.log != nullptr) {
+      options_.log->emit(
+          "serve", "session_complete",
+          {obs::LogField::u64("session", id),
+           obs::LogField::u64("chips", chips),
+           obs::LogField::f64("seconds", seconds)});
+    }
   } else {
-    ++sessions_failed_;
+    failed_->inc();
+    if (options_.log != nullptr) {
+      options_.log->emit("serve", "session_failed",
+                         {obs::LogField::str("reason", failure),
+                          obs::LogField::f64("seconds", seconds)});
+    }
   }
 }
 
-ServeMetricsSnapshot TuneServeLoop::metrics() const {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
-  ServeMetricsSnapshot snap;
-  snap.sessions_accepted = sessions_accepted_;
-  snap.sessions_completed = sessions_completed_;
-  snap.sessions_failed = sessions_failed_;
-  snap.active_sessions = active_sessions_;
-  snap.queue_depth = balancer_.queued();
-  snap.chips_tuned = chips_tuned_;
-  snap.stimuli = stimuli_;
-  const auto end =
-      drained_ ? drained_at_ : std::chrono::steady_clock::now();
-  snap.wall_seconds = std::chrono::duration<double>(end - started_at_).count();
-  snap.sessions_per_sec =
-      snap.wall_seconds > 0.0
-          ? static_cast<double>(sessions_completed_) / snap.wall_seconds
-          : 0.0;
-  snap.latency_p50 = latency_.quantile(0.50);
-  snap.latency_p90 = latency_.quantile(0.90);
-  snap.latency_p99 = latency_.quantile(0.99);
-  return snap;
+obs::RegistrySnapshot TuneServeLoop::metrics() const {
+  // Refresh the wall-clock gauges at snapshot time. After drain they
+  // freeze at drained_at_, so late reads of the end-of-run summary are
+  // stable; counters and histograms are live atomics either way.
+  double wall = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(time_mutex_);
+    if (started_at_.time_since_epoch().count() != 0) {
+      const auto end =
+          drained_ ? drained_at_ : std::chrono::steady_clock::now();
+      wall = std::chrono::duration<double>(end - started_at_).count();
+    }
+  }
+  wall_seconds_->set(wall);
+  sessions_per_sec_->set(
+      wall > 0.0 ? static_cast<double>(completed_->value()) / wall : 0.0);
+  return registry_.snapshot();
+}
+
+std::string TuneServeLoop::status_json() const {
+  return obs::render_status_json(metrics());
 }
 
 }  // namespace effitest::net

@@ -9,6 +9,12 @@
 //   ...the standard effitest-tune-v1 exchange (header, stimulus/response,
 //      report, bye), byte-identical to `effitest_cli tune`...
 //
+// A connection whose first line is `status` instead of a hello receives
+// one `effitest-status-v1` JSON line (the live metrics registry) and is
+// closed — it is counted in serve.status_requests, never in the session
+// counters, so polling does not perturb the fleet's numbers. The same
+// line is served to any connection on ServeOptions::status_port.
+//
 // The greeting carries monte_carlo_seed_base() because a client simulating
 // dies cannot recompute it: the base falls out of the offline phase's RNG
 // fork order, which only the server ran. With it, client-side die c is
@@ -46,6 +52,11 @@
 #include "core/tuner_service.hpp"
 #include "net/load_balancer.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
+
+namespace effitest::obs {
+class StructuredLog;
+}  // namespace effitest::obs
 
 namespace effitest::net {
 
@@ -71,40 +82,38 @@ struct ServeOptions {
   /// timeout looks like a disconnected tester (stream EOF).
   double io_timeout_seconds = 0.0;
   int listen_backlog = 512;
+  /// Plaintext status endpoint: every connection to this port immediately
+  /// receives one `effitest-status-v1` JSON line and is closed — pollable
+  /// with netcat/curl, independent of the tune listener's backpressure
+  /// and its max_sessions budget. -1 disables (the default); 0 binds an
+  /// ephemeral port, read the choice from status_port().
+  int status_port = -1;
+  /// Structured event log (session_complete/session_failed here, plus the
+  /// per-chip session events via the protocol layer), or nullptr — the
+  /// zero-overhead default the perf gates run with.
+  obs::StructuredLog* log = nullptr;
 };
 
-/// Power-of-two-bucketed latency histogram: bucket i holds durations in
-/// [2^i, 2^(i+1)) microseconds. quantile() interpolates at the geometric
-/// midpoint of the bucket the rank lands in — 2 significant figures of
-/// accuracy for the p50/p90/p99 the serve metrics report, O(1) memory for
-/// any session count.
-class LatencyHistogram {
- public:
-  void record(double seconds);
-  [[nodiscard]] std::size_t count() const { return count_; }
-  /// q in [0, 1]; 0 when nothing was recorded.
-  [[nodiscard]] double quantile(double q) const;
-
- private:
-  static constexpr std::size_t kBuckets = 48;
-  std::vector<std::size_t> buckets_ = std::vector<std::size_t>(kBuckets, 0);
-  std::size_t count_ = 0;
-};
-
-struct ServeMetricsSnapshot {
-  std::size_t sessions_accepted = 0;
-  std::size_t sessions_completed = 0;
-  std::size_t sessions_failed = 0;  ///< bad hello, bad frames, disconnects
-  std::size_t active_sessions = 0;
-  std::size_t queue_depth = 0;  ///< accepted, not yet claimed by a worker
-  std::size_t chips_tuned = 0;
-  std::size_t stimuli = 0;
-  double wall_seconds = 0.0;  ///< start() to the snapshot (or to drain end)
-  double sessions_per_sec = 0.0;
-  double latency_p50 = 0.0;  ///< per-session wall seconds
-  double latency_p90 = 0.0;
-  double latency_p99 = 0.0;
-};
+// Metric names the serve loop registers (obs::MetricsRegistry). Counters
+// are monotonic; the latency histogram records per-session wall seconds
+// into power-of-two-microsecond buckets (obs::Histogram, the math the old
+// LatencyHistogram used). `serve.wall_seconds`/`serve.sessions_per_sec`
+// are refreshed at snapshot time and freeze once the loop drains, so the
+// end-of-run summary is stable however late it is read.
+inline constexpr const char* kMetricSessionsAccepted =
+    "serve.sessions_accepted";
+inline constexpr const char* kMetricSessionsCompleted =
+    "serve.sessions_completed";
+inline constexpr const char* kMetricSessionsFailed = "serve.sessions_failed";
+inline constexpr const char* kMetricChipsTuned = "serve.chips_tuned";
+inline constexpr const char* kMetricStimuli = "serve.stimuli";
+inline constexpr const char* kMetricStatusRequests = "serve.status_requests";
+inline constexpr const char* kMetricActiveSessions = "serve.active_sessions";
+inline constexpr const char* kMetricQueueDepth = "serve.queue_depth";
+inline constexpr const char* kMetricWallSeconds = "serve.wall_seconds";
+inline constexpr const char* kMetricSessionsPerSec = "serve.sessions_per_sec";
+inline constexpr const char* kMetricSessionLatency =
+    "serve.session_latency_us";
 
 class TuneServeLoop {
  public:
@@ -121,6 +130,8 @@ class TuneServeLoop {
   /// Valid after start(); the kernel's choice when options.port was 0.
   [[nodiscard]] std::uint16_t port() const { return port_; }
   [[nodiscard]] const std::string& host() const { return options_.host; }
+  /// Valid after start() when ServeOptions::status_port >= 0; 0 otherwise.
+  [[nodiscard]] std::uint16_t status_port() const { return status_port_; }
 
   /// Async-signal-safe (atomic store + one pipe write): stop accepting,
   /// finish queued and in-flight sessions. Idempotent.
@@ -129,17 +140,28 @@ class TuneServeLoop {
   /// Join everything; returns once the last session finished. Idempotent.
   void wait();
 
-  [[nodiscard]] ServeMetricsSnapshot metrics() const;
+  /// Registry snapshot with the wall-clock gauges refreshed. The counter
+  /// and histogram entries are exactly what a concurrent `status` poll
+  /// sees: a poll taken after the last session finished matches the
+  /// end-of-run snapshot on every monotonic metric.
+  [[nodiscard]] obs::RegistrySnapshot metrics() const;
+
+  /// metrics() rendered as one `effitest-status-v1` JSON line — what the
+  /// in-band `status` request and the --status-port endpoint return.
+  [[nodiscard]] std::string status_json() const;
 
  private:
   void accept_loop();
   void worker_loop(std::size_t w);
   void serve_connection(Socket socket);
+  void answer_status_connection();
 
   const core::TunerService* service_;
   ServeOptions options_;
   std::unique_ptr<Listener> listener_;
+  std::unique_ptr<Listener> status_listener_;
   std::uint16_t port_ = 0;
+  std::uint16_t status_port_ = 0;
   LoadBalancer<Socket> balancer_;
   std::vector<std::thread> threads_;
   Socket drain_pipe_r_;
@@ -148,15 +170,23 @@ class TuneServeLoop {
   std::atomic<bool> started_{false};
   std::atomic<std::uint64_t> next_session_id_{0};
 
-  // Metrics, guarded by metrics_mutex_ except the atomics above.
-  mutable std::mutex metrics_mutex_;
-  std::size_t sessions_accepted_ = 0;
-  std::size_t sessions_completed_ = 0;
-  std::size_t sessions_failed_ = 0;
-  std::size_t active_sessions_ = 0;
-  std::size_t chips_tuned_ = 0;
-  std::size_t stimuli_ = 0;
-  LatencyHistogram latency_;
+  // Instruments live in the registry (lock-free on the hot path); the
+  // cached pointers stay valid for the loop's lifetime. The registry is
+  // mutable so metrics() const can refresh the wall-clock gauges.
+  mutable obs::MetricsRegistry registry_;
+  obs::Counter* accepted_;
+  obs::Counter* completed_;
+  obs::Counter* failed_;
+  obs::Counter* chips_tuned_;
+  obs::Counter* stimuli_;
+  obs::Counter* status_requests_;
+  obs::Gauge* active_sessions_;
+  obs::Gauge* wall_seconds_;
+  obs::Gauge* sessions_per_sec_;
+  obs::Histogram* latency_;
+
+  // Wall-clock epoch, guarded by time_mutex_ (not on the session path).
+  mutable std::mutex time_mutex_;
   std::chrono::steady_clock::time_point started_at_{};
   std::chrono::steady_clock::time_point drained_at_{};
   bool drained_ = false;

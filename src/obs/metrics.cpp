@@ -1,0 +1,147 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "io/json.hpp"
+
+namespace effitest::obs {
+
+void Histogram::record(double seconds) {
+  const double us = seconds * 1e6;
+  std::size_t bucket = 0;
+  if (us >= 1.0) {
+    bucket = static_cast<std::size_t>(std::log2(us));
+    bucket = std::min(bucket, kBuckets - 1);
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[b];
+  }
+  return snap;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, 1-based; walk the cumulative counts.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // Geometric midpoint of [2^b, 2^(b+1)) microseconds, in seconds.
+      return std::exp2(static_cast<double>(b) + 0.5) * 1e-6;
+    }
+  }
+  return std::exp2(static_cast<double>(kBuckets)) * 1e-6;
+}
+
+std::uint64_t RegistrySnapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double RegistrySnapshot::gauge(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const HistogramSnapshot* RegistrySnapshot::histogram(
+    const std::string& name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+template <typename Vec>
+auto& get_or_create(Vec& vec, const std::string& name) {
+  for (auto& [n, instrument] : vec) {
+    if (n == name) return *instrument;
+  }
+  vec.emplace_back(name, std::make_unique<
+                             typename Vec::value_type::second_type::element_type>());
+  return *vec.back().second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return get_or_create(counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return get_or_create(gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return get_or_create(histograms_, name);
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  return snap;
+}
+
+std::string render_status_json(const RegistrySnapshot& snap) {
+  io::json::Writer w;
+  w.raw("{").key("schema").string("effitest-status-v1");
+  w.raw(", ").key("counters").raw("{");
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) w.raw(", ");
+    first = false;
+    w.key(name).number(value);
+  }
+  w.raw("}, ").key("gauges").raw("{");
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) w.raw(", ");
+    first = false;
+    w.key(name).number(value);
+  }
+  w.raw("}, ").key("histograms").raw("{");
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) w.raw(", ");
+    first = false;
+    w.key(name).raw("{").key("count").number(h.count);
+    w.raw(", ").key("p50").number(h.quantile(0.50));
+    w.raw(", ").key("p90").number(h.quantile(0.90));
+    w.raw(", ").key("p99").number(h.quantile(0.99));
+    w.raw("}");
+  }
+  w.raw("}}");
+  return w.take();
+}
+
+}  // namespace effitest::obs

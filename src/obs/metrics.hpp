@@ -1,0 +1,142 @@
+#pragma once
+// Live observability: thread-safe named metrics for long-running fleets.
+// DESIGN.md §14.
+//
+// The serve loop (and anything else long-running) registers counters,
+// gauges and histograms here instead of keeping ad-hoc mutex-guarded
+// fields; a RegistrySnapshot taken at any instant renders to the one-line
+// `effitest-status-v1` JSON that the in-band `status` request and the
+// `--status-port` endpoint return, so a fleet can be watched mid-run
+// instead of autopsied from the end-of-run summary.
+//
+// Contracts:
+//  - Counter/Gauge/Histogram instruments are lock-free (relaxed atomics);
+//    recording on the hot path costs one uncontended RMW — the registry
+//    mutex is touched only at registration and snapshot time.
+//  - Counters are monotonic. A snapshot taken mid-run is elementwise <=
+//    any later snapshot (the tests/net status-polling test pins this).
+//  - Instrument references returned by the registry stay valid for the
+//    registry's lifetime (unique_ptr-backed; the vector may reallocate,
+//    the instruments never move).
+//  - Histogram buckets are power-of-two microseconds, the exact math the
+//    serve latency percentiles always used: bucket i holds durations in
+//    [2^i, 2^(i+1)) us, quantile() answers the geometric midpoint of the
+//    bucket the ceil-rank lands in — 2 significant figures, O(1) memory.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace effitest::obs {
+
+/// Monotonic event count. Lock-free.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (active sessions, queue depth, wall seconds).
+/// Either stores a value (set/add) or, when bound, computes one on read —
+/// bind() must happen before the gauge is read concurrently (the serve
+/// loop binds its queue-depth gauge before spawning any thread).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    // CAS loop: atomic<double>::fetch_add is not guaranteed lock-free
+    // everywhere this builds.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void bind(std::function<double()> fn) { callback_ = std::move(fn); }
+  [[nodiscard]] double value() const {
+    if (callback_) return callback_();
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::function<double()> callback_;
+};
+
+/// Frozen histogram state: the bucket copy is internally consistent (count
+/// is the sum of the copied buckets, never a separately-raced field).
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 48;
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+
+  /// q in [0, 1]; 0 when nothing was recorded. Answers in seconds.
+  [[nodiscard]] double quantile(double q) const;
+};
+
+/// Power-of-two-bucketed duration histogram, recording in seconds.
+/// Lock-free; concurrent record() calls never lose an event.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  void record(double seconds);
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] std::uint64_t count() const { return snapshot().count; }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Lookup helpers; a missing name answers 0 / nullptr so callers can
+  /// probe optional instruments without try/catch.
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  [[nodiscard]] double gauge(const std::string& name) const;
+  [[nodiscard]] const HistogramSnapshot* histogram(
+      const std::string& name) const;
+};
+
+/// Get-or-create registry of named instruments. Registration order is
+/// preserved into snapshots and rendered status JSON, so output is
+/// deterministic for a fixed registration sequence.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+/// One-line `effitest-status-v1` JSON (no trailing newline):
+///   {"schema": "effitest-status-v1",
+///    "counters": {...}, "gauges": {...},
+///    "histograms": {"name": {"count": n, "p50": s, "p90": s, "p99": s}}}
+/// Histogram quantiles are in seconds, like the snapshot they come from.
+[[nodiscard]] std::string render_status_json(const RegistrySnapshot& snap);
+
+}  // namespace effitest::obs

@@ -63,6 +63,7 @@ CASES = [
     (["serve"] + S27, "max-chips", BAD_U64),
     (["serve"] + S27, "max-sessions", BAD_U64),
     (["serve"] + S27, "io-timeout", BAD_DOUBLE),
+    (["serve"] + S27, "status-port", BAD_U64 + ["65536", "70000"]),
 ]
 
 failures = []
@@ -102,6 +103,54 @@ check(["campaign", "--circuits=s9234", "--quantiles=0.5,abc"], 2,
 # is rejected before any connection attempt.
 check(["tune"] + S27 + ["--connect=127.0.0.1:abc"], 2, "abc")
 check(["tune"] + S27 + ["--connect=127.0.0.1:70000"], 2, "70000")
+
+# --log-format takes exactly text|json; every logging-capable command
+# rejects anything else with exit 2 naming the option and value.
+for prefix in (
+    ["run"] + S27 + ["--chips=1"],
+    ["campaign", "--circuits=s9234"],
+    ["tune", "--simulate"] + S27,
+    ["serve"] + S27,
+):
+    for value in ("bogus", "JSON", ""):
+        check(prefix + ["--log-format=%s" % value], 2,
+              "--log-format=%s" % value)
+
+# ... and the logging options exist only on run/campaign/tune/serve; the
+# other commands reject them like any unknown option.
+check(["generate", "--circuit=s9234", "--log-format=json"], 2,
+      "--log-format=json")
+check(["info", "--bench=" + BENCH, "--log-file=/tmp/x.log"], 2,
+      "--log-file=/tmp/x.log")
+check(["circuits", "--log-format=json"], 2, "--log-format=json")
+
+# status accepts --connect only, with the same host:port validation as
+# tune --connect.
+check(["status", "--connect=127.0.0.1:abc"], 2, "abc")
+check(["status", "--connect=nocolon"], 2, "nocolon")
+check(["status", "--circuit=s9234"], 2, "--circuit=s9234")
+
+# An enabled log really is written: one valid JSON event per line, and
+# --log-file without --log-format defaults to JSON.
+import json
+import tempfile
+
+with tempfile.NamedTemporaryFile(suffix=".log", mode="r") as log_file:
+    check(["run"] + S27 + ["--chips=20", "--log-file=" + log_file.name], 0)
+    events = [json.loads(line) for line in log_file.read().splitlines()]
+    if not events:
+        failures.append("--log-file wrote no events")
+    for event in events:
+        if event.get("schema") != "effitest-log-v1":
+            failures.append("bad log event: %r" % (event,))
+    if [e["event"] for e in events if e["component"] == "run"] != [
+        "run_begin",
+        "run_complete",
+    ]:
+        failures.append(
+            "run did not emit run_begin/run_complete: %r"
+            % [e["event"] for e in events]
+        )
 
 # Sanity: well-formed numbers on the same paths still succeed, so the
 # matrix above is rejecting values rather than whole commands.

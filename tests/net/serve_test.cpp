@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -23,12 +24,14 @@
 #include <vector>
 
 #include "core/tuner_service.hpp"
+#include "io/json.hpp"
 #include "io/tune_protocol.hpp"
 #include "net/client.hpp"
 #include "net/load_balancer.hpp"
 #include "net/serve.hpp"
 #include "net/socket.hpp"
 #include "netlist/generator.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/deterministic_for.hpp"
 #include "stats/rng.hpp"
 #include "timing/model.hpp"
@@ -147,15 +150,19 @@ TEST(ServeLoop, ConcurrentLoopbackSessionsMatchSimulatedReports) {
         << "client " << i;
     EXPECT_TRUE(results[i]->error_lines.empty());
   }
-  const net::ServeMetricsSnapshot m = loop.metrics();
-  EXPECT_EQ(m.sessions_completed, kClients);
-  EXPECT_EQ(m.sessions_failed, 0u);
-  EXPECT_EQ(m.chips_tuned, kClients * kChips);
-  EXPECT_EQ(m.active_sessions, 0u);
-  EXPECT_EQ(m.queue_depth, 0u);
-  EXPECT_GT(m.sessions_per_sec, 0.0);
-  EXPECT_GT(m.latency_p50, 0.0);
-  EXPECT_LE(m.latency_p50, m.latency_p99);
+  const obs::RegistrySnapshot m = loop.metrics();
+  EXPECT_EQ(m.counter(net::kMetricSessionsCompleted), kClients);
+  EXPECT_EQ(m.counter(net::kMetricSessionsFailed), 0u);
+  EXPECT_EQ(m.counter(net::kMetricChipsTuned), kClients * kChips);
+  EXPECT_EQ(m.gauge(net::kMetricActiveSessions), 0.0);
+  EXPECT_EQ(m.gauge(net::kMetricQueueDepth), 0.0);
+  EXPECT_GT(m.gauge(net::kMetricSessionsPerSec), 0.0);
+  const obs::HistogramSnapshot* latency =
+      m.histogram(net::kMetricSessionLatency);
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, kClients);
+  EXPECT_GT(latency->quantile(0.50), 0.0);
+  EXPECT_LE(latency->quantile(0.50), latency->quantile(0.99));
 }
 
 TEST(ServeLoop, ManyConcurrentSessionsThroughFewWorkers) {
@@ -188,7 +195,7 @@ TEST(ServeLoop, ManyConcurrentSessionsThroughFewWorkers) {
   loop.request_drain();
   loop.wait();
   EXPECT_EQ(ok.load(), kClients);
-  EXPECT_EQ(loop.metrics().sessions_completed, kClients);
+  EXPECT_EQ(loop.metrics().counter(net::kMetricSessionsCompleted), kClients);
 }
 
 TEST(ServeLoop, AbandonedConnectionLeavesSiblingsUntouched) {
@@ -218,9 +225,9 @@ TEST(ServeLoop, AbandonedConnectionLeavesSiblingsUntouched) {
 
   loop.request_drain();
   loop.wait();
-  const net::ServeMetricsSnapshot m = loop.metrics();
-  EXPECT_EQ(m.sessions_completed, 1u);
-  EXPECT_EQ(m.sessions_failed, 1u);
+  const obs::RegistrySnapshot m = loop.metrics();
+  EXPECT_EQ(m.counter(net::kMetricSessionsCompleted), 1u);
+  EXPECT_EQ(m.counter(net::kMetricSessionsFailed), 1u);
 }
 
 TEST(ServeLoop, CrlfFramedClientIsServed) {
@@ -291,7 +298,7 @@ TEST(ServeLoop, CrlfFramedClientIsServed) {
   loop.request_drain();
   loop.wait();
   EXPECT_EQ(reports, golden);
-  EXPECT_EQ(loop.metrics().sessions_completed, 1u);
+  EXPECT_EQ(loop.metrics().counter(net::kMetricSessionsCompleted), 1u);
 }
 
 TEST(ServeLoop, DrainFinishesInFlightSessions) {
@@ -364,9 +371,9 @@ TEST(ServeLoop, DrainFinishesInFlightSessions) {
   }
   loop.wait();
   EXPECT_EQ(sorted_by_chip(reports), golden);
-  const net::ServeMetricsSnapshot m = loop.metrics();
-  EXPECT_EQ(m.sessions_completed, 1u);
-  EXPECT_EQ(m.sessions_failed, 0u);
+  const obs::RegistrySnapshot m = loop.metrics();
+  EXPECT_EQ(m.counter(net::kMetricSessionsCompleted), 1u);
+  EXPECT_EQ(m.counter(net::kMetricSessionsFailed), 0u);
 
   // And the listener really is gone: a late connection is refused (or
   // reset), never queued.
@@ -407,11 +414,148 @@ TEST(ServeLoop, MalformedAndOversizedHellosAreRejected) {
 
   loop.request_drain();
   loop.wait();
-  const net::ServeMetricsSnapshot m = loop.metrics();
+  const obs::RegistrySnapshot m = loop.metrics();
   // Four rejected hellos, plus the chips=4 session whose client deserted
   // right after the greeting.
-  EXPECT_EQ(m.sessions_failed, 5u);
-  EXPECT_EQ(m.sessions_completed, 0u);
+  EXPECT_EQ(m.counter(net::kMetricSessionsFailed), 5u);
+  EXPECT_EQ(m.counter(net::kMetricSessionsCompleted), 0u);
+}
+
+io::json::Value parse_status(const std::string& line) {
+  io::json::Parser parser(line, "status");
+  return parser.parse();
+}
+
+double status_number(const io::json::Value& doc, const char* section,
+                     const std::string& name) {
+  const io::json::Value* s = doc.find(section);
+  const io::json::Value* v = s == nullptr ? nullptr : s->find(name);
+  return v == nullptr ? -1.0 : v->number;
+}
+
+TEST(ServeLoop, StatusPollsAreLiveMonotonicAndUnperturbing) {
+  net::ServeOptions options;
+  options.workers = 2;
+  options.status_port = 0;  // plaintext endpoint on an ephemeral port
+  net::TuneServeLoop loop(holder().service, options);
+  loop.start();
+  ASSERT_NE(loop.status_port(), 0);
+
+  // Idle fleet: session counters are zero; the poll itself is counted —
+  // status_requests is incremented before rendering, so every reply
+  // already includes itself.
+  {
+    const io::json::Value idle =
+        parse_status(net::fetch_status("127.0.0.1", loop.status_port()));
+    ASSERT_NE(idle.find("schema"), nullptr);
+    EXPECT_EQ(idle.find("schema")->string, "effitest-status-v1");
+    EXPECT_EQ(
+        status_number(idle, "counters", net::kMetricSessionsAccepted), 0.0);
+    EXPECT_EQ(
+        status_number(idle, "counters", net::kMetricStatusRequests), 1.0);
+  }
+
+  // Hold one session provably in flight (greeting consumed, nothing
+  // answered yet) and poll the serve port in-band: the session shows up
+  // as accepted and active, never as completed — and the poll itself
+  // must not bump any session counter.
+  net::SocketStream stream(net::connect_to("127.0.0.1", loop.port()));
+  stream << "hello effitest-tune-v1 chips=1\n";
+  stream.flush();
+  std::string line;
+  ASSERT_TRUE(std::getline(stream, line));
+  ASSERT_EQ(line.rfind("serve ", 0), 0u) << line;
+  const std::uint64_t seed =
+      std::stoull(line.substr(line.rfind("seed=") + 5));
+
+  const io::json::Value mid =
+      parse_status(net::fetch_status("127.0.0.1", loop.port()));
+  EXPECT_EQ(
+      status_number(mid, "counters", net::kMetricSessionsAccepted), 1.0);
+  EXPECT_EQ(
+      status_number(mid, "counters", net::kMetricSessionsCompleted), 0.0);
+  EXPECT_EQ(status_number(mid, "gauges", net::kMetricActiveSessions), 1.0);
+
+  // Answer the held session to completion.
+  timing::SampleWorkspace ws;
+  stats::Rng rng(parallel::index_seed(seed, 0));
+  const timing::Chip die = holder().model.sample_chip(rng, ws);
+  core::SimulatedChip tester(holder().problem, die);
+  while (std::getline(stream, line)) {
+    if (line == "bye") break;
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    if (tag != "stimulus" && tag != "final") continue;
+    std::size_t chip = 0, seq = 0;
+    std::string marker;
+    core::Stimulus stim;
+    ASSERT_TRUE(is >> chip >> seq >> stim.period >> marker);
+    std::string token;
+    bool in_arm = false;
+    while (is >> token) {
+      if (token == "arm") {
+        in_arm = true;
+      } else if (in_arm) {
+        stim.armed.push_back(std::stoul(token));
+      } else {
+        stim.steps.push_back(std::stoi(token));
+      }
+    }
+    std::vector<bool> pass;
+    if (tag == "final") {
+      pass.assign(1, tester.final_test(stim.period, stim.steps));
+    } else {
+      pass = tester.apply(stim);
+    }
+    std::string bits(pass.size(), '0');
+    for (std::size_t i = 0; i < pass.size(); ++i) {
+      if (pass[i]) bits[i] = '1';
+    }
+    stream << "response " << chip << ' ' << seq << ' ' << bits << '\n';
+  }
+
+  // `bye` races the server's own bookkeeping by a few instructions; wait
+  // for the completion to land before taking the final poll.
+  while (loop.metrics().counter(net::kMetricSessionsCompleted) < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const io::json::Value last =
+      parse_status(net::fetch_status("127.0.0.1", loop.status_port()));
+
+  loop.request_drain();
+  loop.wait();
+  const obs::RegistrySnapshot end = loop.metrics();
+
+  // A final poll taken after the last session finished matches the
+  // end-of-run snapshot exactly on every monotonic metric, and every
+  // mid-run poll is elementwise <= it.
+  for (const auto& [name, value] : end.counters) {
+    EXPECT_EQ(status_number(last, "counters", name),
+              static_cast<double>(value))
+        << name;
+    EXPECT_LE(status_number(mid, "counters", name),
+              static_cast<double>(value))
+        << name;
+  }
+  const obs::HistogramSnapshot* latency =
+      end.histogram(net::kMetricSessionLatency);
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 1u);
+  const io::json::Value* hists = last.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const io::json::Value* polled = hists->find(net::kMetricSessionLatency);
+  ASSERT_NE(polled, nullptr);
+  ASSERT_NE(polled->find("count"), nullptr);
+  EXPECT_EQ(polled->find("count")->number,
+            static_cast<double>(latency->count));
+  ASSERT_NE(polled->find("p50"), nullptr);
+  EXPECT_EQ(polled->find("p50")->number, latency->quantile(0.50));
+
+  // Three polls (idle, mid-session, final), each counting itself.
+  EXPECT_EQ(end.counter(net::kMetricStatusRequests), 3u);
+  EXPECT_EQ(end.counter(net::kMetricSessionsAccepted), 1u);
+  EXPECT_EQ(end.counter(net::kMetricSessionsCompleted), 1u);
 }
 
 TEST(LoadBalancer, DispatchPrefersLeastLoadedWorker) {

@@ -55,7 +55,7 @@
 //   serve     --bench=... | --circuit=<name> [--td/--quantile/--seed/...]
 //             [--host=H] [--port=P] [--workers=N] [--max-pending=N]
 //             [--window=W] [--max-chips=N] [--max-sessions=N]
-//             [--io-timeout=S]
+//             [--io-timeout=S] [--status-port=P]
 //             TCP serve mode (src/net/serve.hpp): prepare the circuit
 //             once, then multiplex any number of concurrent chip-tuning
 //             sessions — each a `hello effitest-tune-v1 chips=<n>`
@@ -64,6 +64,24 @@
 //             when ready; SIGTERM/SIGINT drain gracefully (stop accepting,
 //             finish every in-flight session) and print the session
 //             metrics (sessions/sec, latency p50/p90/p99) on stderr.
+//             --status-port binds an extra plaintext endpoint (0 =
+//             ephemeral, announced as `status on <host>:<port>`) where any
+//             connection receives the live effitest-status-v1 JSON line.
+//   status    --connect=host:port
+//             Poll a serve fleet's live metrics: print the one-line
+//             effitest-status-v1 JSON (obs::MetricsRegistry snapshot) on
+//             stdout and a human summary (sessions done/active,
+//             sessions/sec, latency p50/p99) on stderr. Works against the
+//             serve port (the in-band `status` request) and against a
+//             --status-port endpoint — poll mid-run; nothing is perturbed.
+//
+// run/campaign/tune/serve also accept --log-format=text|json and
+// --log-file=path: a structured event log (obs::StructuredLog,
+// effitest-log-v1 JSON lines or the same data as text) of run/job/session/
+// chip transitions, written to the file or to stderr when no file is
+// given. Purely observational — results are bit-identical with logging on
+// or off, and the perf gates run with it off (one null-pointer test per
+// would-be event).
 //
 // Unknown options, unknown flags and stray positional arguments are
 // rejected with a clear error (exit code 2) — a typo like --chip=200 must
@@ -89,6 +107,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/campaign.hpp"
@@ -97,10 +116,13 @@
 #include "core/tuner_service.hpp"
 #include "io/bench_json.hpp"
 #include "io/checkpoint_json.hpp"
+#include "io/json.hpp"
 #include "io/scenario_json.hpp"
 #include "io/tune_protocol.hpp"
 #include "net/client.hpp"
 #include "net/serve.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "netlist/bench_writer.hpp"
 #include "netlist/generator.hpp"
 #include "scenario/circuit_catalog.hpp"
@@ -244,45 +266,55 @@ const std::map<std::string, CommandSpec>& command_specs() {
         "ssta     --bench=file | --circuit=<name> [--chips=N]"}},
       {"run",
        {{"bench", "buffers", "policy", "circuit", "chips", "td", "quantile",
-         "seed", "threads", "json"},
+         "seed", "threads", "json", "log-format", "log-file"},
         {"no-prediction", "no-alignment"},
         "run      --bench=file [--buffers=N] [--policy=p] | "
         "--circuit=<name>\n"
         "         [--chips=N] [--td=ps] [--quantile=q] [--seed=S]\n"
         "         [--no-prediction] [--no-alignment] [--threads=N]\n"
-        "         [--json=file]"}},
+        "         [--json=file] [--log-format=text|json] "
+        "[--log-file=path]"}},
       {"campaign",
        {{"spec", "circuits", "quantiles", "chips", "seed", "threads",
-         "inflation", "json", "checkpoint", "stop-after"},
+         "inflation", "json", "checkpoint", "stop-after", "log-format",
+         "log-file"},
         {"resume"},
         "campaign --spec=file.json | [--circuits=a,b,...] "
         "[--quantiles=q1,q2,...]\n"
         "         [--chips=N] [--seed=S] [--threads=N] [--inflation=k]\n"
         "         [--json=file] [--checkpoint=file [--resume]] "
-        "[--stop-after=K]"}},
+        "[--stop-after=K]\n"
+        "         [--log-format=text|json] [--log-file=path]"}},
       {"circuits",
        {{"spec"}, {}, "circuits [--spec=file.json]"}},
       {"tune",
        {{"bench", "buffers", "policy", "circuit", "chips", "td", "quantile",
-         "seed", "threads", "log", "responses", "connect", "window"},
+         "seed", "threads", "log", "responses", "connect", "window",
+         "log-format", "log-file"},
         {"simulate", "lenient"},
         "tune     --bench=file [--buffers=N] [--policy=p] | "
         "--circuit=<name>\n"
         "         [--chips=N] [--td=ps] [--quantile=q] [--seed=S]\n"
         "         [--threads=N] [--simulate] [--lenient] [--log=file] "
         "[--responses=file]\n"
-        "         [--window=W] [--connect=host:port]"}},
+        "         [--window=W] [--connect=host:port] "
+        "[--log-format=text|json] [--log-file=path]"}},
       {"serve",
        {{"bench", "buffers", "policy", "circuit", "td", "quantile", "seed",
          "threads", "host", "port", "workers", "max-pending", "window",
-         "max-chips", "max-sessions", "io-timeout"},
+         "max-chips", "max-sessions", "io-timeout", "status-port",
+         "log-format", "log-file"},
         {},
         "serve    --bench=file [--buffers=N] [--policy=p] | "
         "--circuit=<name>\n"
         "         [--td=ps] [--quantile=q] [--seed=S] [--threads=N]\n"
         "         [--host=H] [--port=P] [--workers=N] [--max-pending=N]\n"
         "         [--window=W] [--max-chips=N] [--max-sessions=N] "
-        "[--io-timeout=S]"}},
+        "[--io-timeout=S]\n"
+        "         [--status-port=P] [--log-format=text|json] "
+        "[--log-file=path]"}},
+      {"status",
+       {{"connect"}, {}, "status   --connect=host:port"}},
   };
   return specs;
 }
@@ -291,7 +323,8 @@ void usage(std::ostream& os) {
   os << "usage: effitest_cli <command> [options]\ncommands:\n";
   // Stable presentation order (not the map's alphabetical one).
   for (const char* name : {"help", "generate", "info", "ssta", "run",
-                           "campaign", "circuits", "tune", "serve"}) {
+                           "campaign", "circuits", "tune", "serve",
+                           "status"}) {
     os << "  " << command_specs().at(name).usage << '\n';
   }
   os << "paper circuits: s9234 s13207 s15850 s38584 mem_ctrl usb_funct "
@@ -407,6 +440,50 @@ std::shared_ptr<const scenario::PreparedCircuit> provision_circuit(
   return catalog.resolve(name);
 }
 
+/// The one shared --log-format/--log-file implementation (run, campaign,
+/// tune and serve all resolve through here; every other command rejects
+/// the options via its whitelist). Logging is enabled iff at least one of
+/// the two options is present: the format defaults to JSON, the sink to
+/// stderr. `log` stays nullptr when logging is off — the zero-overhead
+/// contract call sites rely on.
+struct LogSink {
+  std::unique_ptr<obs::StructuredLog> owned;
+  obs::StructuredLog* log = nullptr;
+};
+
+LogSink make_structured_log(const Cli& cli) {
+  LogSink sink;
+  const auto format_text = cli.get("log-format");
+  const auto file_path = cli.get("log-file");
+  if (!format_text && !file_path) return sink;
+  obs::LogFormat format = obs::LogFormat::kJson;
+  if (format_text && !obs::parse_log_format(*format_text, format)) {
+    throw UsageError("--log-format=" + *format_text +
+                     ": expected text or json");
+  }
+  if (file_path) {
+    sink.owned = obs::StructuredLog::open_file(*file_path, format);
+  } else {
+    // std::clog: stderr, buffered — event lines never interleave with the
+    // command's stdout tables/JSON announcements.
+    sink.owned = std::make_unique<obs::StructuredLog>(std::clog, format);
+  }
+  sink.log = sink.owned.get();
+  return sink;
+}
+
+/// `host:port` → (host, port) with the usual usage-error reporting.
+std::pair<std::string, std::uint16_t> split_host_port(
+    const std::string& option, const std::string& target) {
+  const auto colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == target.size()) {
+    throw UsageError("--" + option + "=" + target + ": expected host:port");
+  }
+  return {target.substr(0, colon),
+          parse_port(option, target.substr(colon + 1))};
+}
+
 int cmd_generate(const Cli& cli) {
   const auto name = cli.get("circuit");
   if (!name) throw std::runtime_error("generate needs --circuit=<name>");
@@ -504,6 +581,7 @@ core::FlowOptions flow_options_from(const Cli& cli,
 }
 
 int cmd_run(const Cli& cli) {
+  const LogSink sink = make_structured_log(cli);  // bad --log-format: fast
   const auto circuit = provision_circuit(cli);
   if (circuit->model.num_pairs() == 0) {
     std::cout << "no monitored paths (no FF pair touches a buffer)\n";
@@ -511,8 +589,23 @@ int cmd_run(const Cli& cli) {
   }
   const core::FlowOptions opts = flow_options_from(cli, circuit->problem);
 
+  if (sink.log != nullptr) {
+    sink.log->emit(
+        "run", "run_begin",
+        {obs::LogField::str("circuit", circuit->netlist.name()),
+         obs::LogField::u64("chips", static_cast<std::uint64_t>(opts.chips)),
+         obs::LogField::u64("seed", opts.seed)});
+  }
   const core::FlowResult r = core::run_flow(circuit->problem, opts);
   const core::FlowMetrics& m = r.metrics;
+  if (sink.log != nullptr) {
+    sink.log->emit("run", "run_complete",
+                   {obs::LogField::str("circuit", circuit->netlist.name()),
+                    obs::LogField::f64("td", m.designated_period),
+                    obs::LogField::f64("ta", m.ta),
+                    obs::LogField::f64("ra", m.ra),
+                    obs::LogField::f64("yield_proposed", m.yield_proposed)});
+  }
   core::Table t({"metric", "value"});
   t.add_row(
       {"designated period (ps)", core::Table::num(m.designated_period, 2)});
@@ -576,6 +669,7 @@ std::vector<std::string> split_list(const std::string& csv) {
 }
 
 int cmd_campaign(const Cli& cli) {
+  const LogSink sink = make_structured_log(cli);
   core::CampaignOptions copts;
   std::vector<core::CampaignJob> jobs;
 
@@ -671,6 +765,7 @@ int cmd_campaign(const Cli& cli) {
       writer->record(index, r);
     };
   }
+  copts.log = sink.log;  // one job_complete event per finished job
 
   const core::CampaignResult result = core::CampaignRunner(copts).run(jobs);
 
@@ -773,7 +868,7 @@ int cmd_tune_connect(const Cli& cli, const std::string& target) {
   // Everything the server decides is rejected loudly rather than silently
   // ignored: designated period, seeding and threading all live server-side.
   for (const char* opt : {"responses", "log", "td", "quantile", "seed",
-                          "threads"}) {
+                          "threads", "log-format", "log-file"}) {
     if (cli.get(opt)) {
       throw UsageError(std::string("tune: --") + opt +
                        " is a server-side decision in --connect mode");
@@ -842,6 +937,7 @@ int cmd_tune(const Cli& cli) {
                  "combine it with --simulate\n";
     return 2;
   }
+  const LogSink sink = make_structured_log(cli);
   const auto circuit = provision_circuit(cli);
   if (circuit->model.num_pairs() == 0) {
     std::cerr << "no monitored paths (no FF pair touches a buffer)\n";
@@ -860,6 +956,7 @@ int cmd_tune(const Cli& cli) {
   if (const auto window = cli.get("window")) {
     topts.chip_window = parse_size("window", *window);
   }
+  topts.log = sink.log;  // per-chip begin/final_test/report events
   io::TuneServer server(service, chips, topts);
 
   io::TuneServerResult result;
@@ -919,10 +1016,16 @@ extern "C" void serve_signal_handler(int) {
 int cmd_serve(const Cli& cli) {
   // Options first, so a typo fails in milliseconds instead of after the
   // offline phase.
+  const LogSink sink = make_structured_log(cli);
   net::ServeOptions sopts;
+  sopts.log = sink.log;
   if (const auto host = cli.get("host")) sopts.host = *host;
   if (const auto port = cli.get("port")) {
     sopts.port = parse_port("port", *port);
+  }
+  if (const auto status_port = cli.get("status-port")) {
+    sopts.status_port =
+        static_cast<int>(parse_port("status-port", *status_port));
   }
   if (const auto workers = cli.get("workers")) {
     sopts.workers = parse_size("workers", *workers);
@@ -963,21 +1066,77 @@ int cmd_serve(const Cli& cli) {
   // a pipe reader sees it before the first session lands.
   std::cout << "serving on " << loop.host() << ":" << loop.port()
             << std::endl;
+  if (sopts.status_port >= 0) {
+    std::cout << "status on " << loop.host() << ":" << loop.status_port()
+              << std::endl;
+  }
   loop.wait();
   std::signal(SIGTERM, SIG_DFL);
   std::signal(SIGINT, SIG_DFL);
   g_serve_loop = nullptr;
 
-  const net::ServeMetricsSnapshot m = loop.metrics();
-  std::cerr << "served " << m.sessions_completed << " session(s) ("
-            << m.sessions_failed << " failed), " << m.chips_tuned
-            << " chip(s), " << m.stimuli << " stimuli in "
-            << core::Table::num(m.wall_seconds, 2) << " s ("
-            << core::Table::num(m.sessions_per_sec, 1)
+  const obs::RegistrySnapshot m = loop.metrics();
+  const obs::HistogramSnapshot* latency =
+      m.histogram(net::kMetricSessionLatency);
+  const auto latency_ms = [latency](double q) {
+    return latency == nullptr ? 0.0 : latency->quantile(q) * 1e3;
+  };
+  std::cerr << "served " << m.counter(net::kMetricSessionsCompleted)
+            << " session(s) (" << m.counter(net::kMetricSessionsFailed)
+            << " failed), " << m.counter(net::kMetricChipsTuned)
+            << " chip(s), " << m.counter(net::kMetricStimuli)
+            << " stimuli in "
+            << core::Table::num(m.gauge(net::kMetricWallSeconds), 2)
+            << " s ("
+            << core::Table::num(m.gauge(net::kMetricSessionsPerSec), 1)
             << " sessions/s); latency p50/p90/p99 "
-            << core::Table::num(m.latency_p50 * 1e3, 2) << "/"
-            << core::Table::num(m.latency_p90 * 1e3, 2) << "/"
-            << core::Table::num(m.latency_p99 * 1e3, 2) << " ms\n";
+            << core::Table::num(latency_ms(0.50), 2) << "/"
+            << core::Table::num(latency_ms(0.90), 2) << "/"
+            << core::Table::num(latency_ms(0.99), 2) << " ms\n";
+  return 0;
+}
+
+int cmd_status(const Cli& cli) {
+  const auto target = cli.get("connect");
+  if (!target) throw UsageError("status needs --connect=host:port");
+  const auto [host, port] = split_host_port("connect", *target);
+  const std::string line = net::fetch_status(host, port);
+  // The machine-readable line alone on stdout (pipe into python/jq); the
+  // human summary goes to stderr like every other end-of-run summary.
+  std::cout << line << '\n';
+  try {
+    io::json::Parser parser(line, "status");
+    const io::json::Value doc = parser.parse();
+    const auto number = [&doc](const char* section, const char* name) {
+      const io::json::Value* s = doc.find(section);
+      const io::json::Value* v = s == nullptr ? nullptr : s->find(name);
+      return v == nullptr ? 0.0 : v->number;
+    };
+    const io::json::Value* hists = doc.find("histograms");
+    const io::json::Value* latency =
+        hists == nullptr ? nullptr : hists->find(net::kMetricSessionLatency);
+    const auto latency_ms = [latency](const char* key) {
+      const io::json::Value* v =
+          latency == nullptr ? nullptr : latency->find(key);
+      return v == nullptr ? 0.0 : v->number * 1e3;
+    };
+    std::cerr << core::Table::num(
+                     number("counters", net::kMetricSessionsCompleted), 0)
+              << " session(s) done, "
+              << core::Table::num(
+                     number("gauges", net::kMetricActiveSessions), 0)
+              << " active ("
+              << core::Table::num(
+                     number("counters", net::kMetricSessionsFailed), 0)
+              << " failed); "
+              << core::Table::num(
+                     number("gauges", net::kMetricSessionsPerSec), 1)
+              << " sessions/s; latency p50/p99 "
+              << core::Table::num(latency_ms("p50"), 2) << "/"
+              << core::Table::num(latency_ms("p99"), 2) << " ms\n";
+  } catch (const io::json::ParseError&) {
+    // The raw line is already on stdout; the summary is best-effort.
+  }
   return 0;
 }
 
@@ -1000,6 +1159,7 @@ int main(int argc, char** argv) {
     if (cli.command == "circuits") return cmd_circuits(cli);
     if (cli.command == "tune") return cmd_tune(cli);
     if (cli.command == "serve") return cmd_serve(cli);
+    if (cli.command == "status") return cmd_status(cli);
     return 2;  // unreachable: validate_cli rejected unknown commands
   } catch (const UsageError& e) {
     std::cerr << "error: " << e.what() << '\n';
