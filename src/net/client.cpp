@@ -35,7 +35,9 @@ std::string encode_bits(const std::vector<bool>& pass) {
 ClientResult run_loopback_client(const std::string& host, std::uint16_t port,
                                  const core::Problem& problem,
                                  const ClientOptions& options) {
-  SocketStream stream(connect_to(host, port));
+  ConnectBackoff backoff;
+  backoff.retries = options.connect_retries;
+  SocketStream stream(connect_with_backoff(host, port, backoff));
   stream << "hello effitest-tune-v1 chips=" << options.chips;
   if (options.window != 0) stream << " window=" << options.window;
   if (options.lenient) stream << " lenient";
@@ -156,7 +158,14 @@ ClientResult run_loopback_client(const std::string& host, std::uint16_t port,
 }
 
 std::string fetch_status(const std::string& host, std::uint16_t port) {
-  SocketStream stream(connect_to(host, port));
+  return fetch_status(host, port, 0.0);
+}
+
+std::string fetch_status(const std::string& host, std::uint16_t port,
+                         double timeout_seconds) {
+  Socket conn = connect_to(host, port);
+  conn.set_io_timeout(timeout_seconds);
+  SocketStream stream(std::move(conn));
   // Harmless on a --status-port endpoint: it answers unprompted and never
   // reads, so the same client drives both kinds of status socket.
   stream << "status\n";
@@ -170,6 +179,22 @@ std::string fetch_status(const std::string& host, std::uint16_t port) {
     throw std::runtime_error("status: empty reply");
   }
   return line;
+}
+
+std::string fetch_prometheus(const std::string& host, std::uint16_t port) {
+  SocketStream stream(connect_to(host, port));
+  stream << "status prometheus\n";
+  stream.flush();
+  std::string text, line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    text += line;
+    text += '\n';
+  }
+  if (text.empty()) {
+    throw std::runtime_error("status: empty prometheus reply");
+  }
+  return text;
 }
 
 }  // namespace effitest::net

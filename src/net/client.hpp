@@ -27,6 +27,11 @@ struct ClientOptions {
   /// Requested per-session chip window (hello window=<w>); 0 requests
   /// none. The server may cap it — the cap never changes the reports.
   std::size_t window = 0;
+  /// Extra connect attempts (exponential backoff + jitter, see
+  /// net::ConnectBackoff) before giving up, so testers ride out balancer
+  /// and worker restarts instead of dying on ECONNREFUSED. 0 = one
+  /// attempt, fail fast.
+  std::size_t connect_retries = 3;
 };
 
 struct ClientResult {
@@ -56,5 +61,19 @@ struct ClientResult {
 /// or an empty reply.
 [[nodiscard]] std::string fetch_status(const std::string& host,
                                        std::uint16_t port);
+
+/// fetch_status with a socket I/O timeout (seconds; <= 0 blocks forever).
+/// The fleet registry's prober uses this so one hung worker costs at most
+/// the timeout per probe round.
+[[nodiscard]] std::string fetch_status(const std::string& host,
+                                       std::uint16_t port,
+                                       double timeout_seconds);
+
+/// Poll a server's metrics in Prometheus text format: send the in-band
+/// `status prometheus` request and return the multi-line exposition-format
+/// reply (read to EOF). Throws std::runtime_error on connection failure or
+/// an empty reply.
+[[nodiscard]] std::string fetch_prometheus(const std::string& host,
+                                           std::uint16_t port);
 
 }  // namespace effitest::net

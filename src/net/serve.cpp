@@ -251,9 +251,13 @@ void TuneServeLoop::serve_connection(Socket socket) {
   // counters, so watching a fleet does not change what it reports (the
   // poll itself shows up in serve.status_requests — incremented before
   // rendering, so every reply already includes itself).
-  if (got_line && line == "status") {
+  if (got_line && (line == "status" || line == "status prometheus")) {
     status_requests_->inc();
-    stream << status_json() << '\n';
+    if (line == "status") {
+      stream << status_json() << '\n';
+    } else {
+      stream << obs::render_prometheus_text(metrics());
+    }
     stream.flush();
     return;
   }

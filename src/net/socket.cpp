@@ -6,10 +6,14 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <random>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace effitest::net {
@@ -137,6 +141,32 @@ Socket Listener::accept() {
     fd = ::accept4(socket_.fd(), nullptr, nullptr, SOCK_CLOEXEC);
   } while (fd < 0 && errno == EINTR);
   return Socket(fd);
+}
+
+Socket connect_with_backoff(const std::string& host, std::uint16_t port,
+                            const ConnectBackoff& backoff) {
+  std::mt19937 jitter_rng{std::random_device{}()};
+  std::uniform_real_distribution<double> jitter(0.5, 1.0);
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return connect_to(host, port);
+    } catch (const std::exception&) {
+      if (attempt >= backoff.retries) throw;
+    }
+    const double delay =
+        std::min(backoff.base_seconds * std::exp2(static_cast<double>(attempt)),
+                 backoff.max_seconds) *
+        jitter(jitter_rng);
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+}
+
+void shutdown_read(const Socket& socket) {
+  if (socket.valid()) (void)::shutdown(socket.fd(), SHUT_RD);
+}
+
+void shutdown_write(const Socket& socket) {
+  if (socket.valid()) (void)::shutdown(socket.fd(), SHUT_WR);
 }
 
 Socket connect_to(const std::string& host, std::uint16_t port) {

@@ -144,4 +144,37 @@ std::string render_status_json(const RegistrySnapshot& snap) {
   return w.take();
 }
 
+std::string render_prometheus_text(const RegistrySnapshot& snap) {
+  const auto sanitize = [](const std::string& name) {
+    std::string out = "effitest_";
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      out += ok ? c : '_';
+    }
+    return out;
+  };
+  std::string text;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string pname = sanitize(name);
+    text += "# TYPE " + pname + " counter\n";
+    text += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string pname = sanitize(name);
+    text += "# TYPE " + pname + " gauge\n";
+    text += pname + " " + io::json::format_double(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string pname = sanitize(name);
+    text += "# TYPE " + pname + " summary\n";
+    for (const double q : {0.50, 0.90, 0.99}) {
+      text += pname + "{quantile=\"" + io::json::format_double(q) + "\"} " +
+              io::json::format_double(h.quantile(q)) + "\n";
+    }
+    text += pname + "_count " + std::to_string(h.count) + "\n";
+  }
+  return text;
+}
+
 }  // namespace effitest::obs

@@ -139,4 +139,14 @@ class MetricsRegistry {
 /// Histogram quantiles are in seconds, like the snapshot they come from.
 [[nodiscard]] std::string render_status_json(const RegistrySnapshot& snap);
 
+/// Prometheus text exposition format for the same snapshot (the `status
+/// prometheus` in-band request and `status --connect --format=prometheus`).
+/// Metric names are prefixed `effitest_` with non-[a-zA-Z0-9_] characters
+/// mapped to `_` (serve.sessions_per_sec -> effitest_serve_sessions_per_sec);
+/// counters render as `# TYPE ... counter`, gauges as gauges, histograms as
+/// summaries with p50/p90/p99 quantile labels plus a `_count` series.
+/// Quantiles are in seconds, matching the JSON rendering. Multi-line, ends
+/// with a newline.
+[[nodiscard]] std::string render_prometheus_text(const RegistrySnapshot& snap);
+
 }  // namespace effitest::obs

@@ -1,0 +1,95 @@
+#pragma once
+// Shared fixture for the fleet suite (and the fleet_worker helper binary):
+// the same tiny 16-FF/60-gate/2-buffer circuit the net suite serves, with
+// an explicit designated period so construction is protocol-speed. Every
+// worker in a fleet test — in-process TuneServeLoop, fake dying listener,
+// or spawned helper process — is built from this one spec, which is what
+// makes the byte-identity assertions meaningful: any two workers answer a
+// replayed session with the same bytes.
+//
+// Deliberately gtest-free so fleet_worker_main.cpp can include it.
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/tuner_service.hpp"
+#include "io/tune_protocol.hpp"
+#include "netlist/cell.hpp"
+#include "netlist/generator.hpp"
+#include "timing/model.hpp"
+
+namespace effitest::fleet_test {
+
+struct ServiceHolder {
+  netlist::GeneratedCircuit circuit;
+  netlist::CellLibrary lib = netlist::CellLibrary::standard();
+  timing::CircuitModel model;
+  core::Problem problem;
+  core::TunerService service;
+
+  static netlist::GeneratorSpec spec() {
+    netlist::GeneratorSpec s;
+    s.num_flip_flops = 16;
+    s.num_gates = 60;
+    s.num_buffers = 2;
+    s.num_critical_paths = 6;
+    s.seed = 7;
+    return s;
+  }
+
+  static core::FlowOptions options() {
+    core::FlowOptions o;
+    o.seed = 11;
+    o.designated_period = 900.0;
+    o.threads = 1;
+    return o;
+  }
+
+  ServiceHolder()
+      : circuit(netlist::generate_circuit(spec())),
+        model(circuit.netlist, lib, circuit.buffered_ffs),
+        problem(model),
+        service(problem, options()) {}
+};
+
+inline const ServiceHolder& holder() {
+  static const ServiceHolder h;
+  return h;
+}
+
+/// Chip ids are the second token; lexicographic sort is wrong past chip 9.
+inline std::vector<std::string> sorted_by_chip(
+    std::vector<std::string> lines) {
+  std::sort(lines.begin(), lines.end(),
+            [](const std::string& a, const std::string& b) {
+              std::istringstream as(a), bs(b);
+              std::string tag;
+              std::size_t ca = 0, cb = 0;
+              as >> tag >> ca;
+              bs >> tag >> cb;
+              return ca < cb;
+            });
+  return lines;
+}
+
+/// The `report <chip> ...` lines of a local simulated run, in chip order —
+/// the golden transcript every fleet-relayed session must reproduce
+/// byte-for-byte, migrations included.
+inline std::vector<std::string> simulated_report_lines(std::size_t chips) {
+  io::TuneServer server(holder().service, chips);
+  std::ostringstream out;
+  (void)server.run_simulated(out);
+  std::vector<std::string> reports;
+  std::istringstream is(out.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("report ", 0) == 0) reports.push_back(line);
+  }
+  return sorted_by_chip(std::move(reports));
+}
+
+}  // namespace effitest::fleet_test

@@ -1,0 +1,246 @@
+// Unit suite for the fleet worker registry (fleet/registry.hpp): the
+// three-state health machine stepped with an injected prober (no
+// wall-clock), deterministic least-loaded routing, the report_failure
+// fast path, the status/banner wire parsers, and one integration round
+// against a real TuneServeLoop's in-band status endpoint.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "fleet/registry.hpp"
+#include "fleet/supervisor.hpp"
+#include "fleet_test_common.hpp"
+#include "net/serve.hpp"
+
+namespace {
+
+using namespace effitest;
+using fleet::ProbeResult;
+using fleet::WorkerEndpoint;
+using fleet::WorkerHealth;
+using fleet::WorkerRegistry;
+
+fleet::RegistryOptions slow_options() {
+  fleet::RegistryOptions o;
+  o.degraded_after = 2;
+  o.dead_after = 4;
+  return o;
+}
+
+WorkerEndpoint ep(std::uint16_t port) { return {"127.0.0.1", port}; }
+
+TEST(WorkerRegistry, HealthWalksLiveDegradedDeadAndReadmits) {
+  WorkerRegistry registry(slow_options());
+  const std::size_t slot = registry.add_worker(ep(4242));
+  EXPECT_EQ(registry.health(slot), WorkerHealth::kLive);
+
+  bool answer = false;
+  registry.set_prober([&](const WorkerEndpoint&) {
+    ProbeResult r;
+    r.ok = answer;
+    return r;
+  });
+
+  // Failures 1..3: degraded at 2, still degraded at 3.
+  registry.probe_all();
+  EXPECT_EQ(registry.health(slot), WorkerHealth::kLive);
+  registry.probe_all();
+  EXPECT_EQ(registry.health(slot), WorkerHealth::kDegraded);
+  registry.probe_all();
+  EXPECT_EQ(registry.health(slot), WorkerHealth::kDegraded);
+  // Failure 4: dead.
+  registry.probe_all();
+  EXPECT_EQ(registry.health(slot), WorkerHealth::kDead);
+  EXPECT_EQ(registry.count(WorkerHealth::kDead), 1u);
+
+  // One successful probe re-admits from dead, clean failure count: the
+  // next single failure must not jump straight back past live.
+  answer = true;
+  registry.probe_all();
+  EXPECT_EQ(registry.health(slot), WorkerHealth::kLive);
+  answer = false;
+  registry.probe_all();
+  EXPECT_EQ(registry.health(slot), WorkerHealth::kLive);
+}
+
+TEST(WorkerRegistry, ReportFailureIsAnImmediateDemotion) {
+  WorkerRegistry registry(slow_options());
+  const std::size_t slot = registry.add_worker(ep(4242));
+  registry.set_prober([](const WorkerEndpoint&) {
+    ProbeResult r;
+    r.ok = true;
+    return r;
+  });
+
+  registry.report_failure(slot);
+  EXPECT_EQ(registry.health(slot), WorkerHealth::kDead);
+  EXPECT_EQ(registry.acquire(), std::nullopt);
+
+  // The prober re-admits the worker the moment it answers again.
+  registry.probe_all();
+  EXPECT_EQ(registry.health(slot), WorkerHealth::kLive);
+}
+
+TEST(WorkerRegistry, RoutingIsLeastLoadedWithLowestIndexTies) {
+  WorkerRegistry registry(slow_options());
+  for (std::uint16_t p = 1; p <= 3; ++p) (void)registry.add_worker(ep(p));
+
+  // Fresh registry: ties broken by the lowest index, in order.
+  EXPECT_EQ(registry.acquire(), std::optional<std::size_t>(0));
+  EXPECT_EQ(registry.acquire(), std::optional<std::size_t>(1));
+  EXPECT_EQ(registry.acquire(), std::optional<std::size_t>(2));
+  EXPECT_EQ(registry.in_flight(0), 1u);
+
+  // All tied at one in flight again: back to slot 0.
+  EXPECT_EQ(registry.acquire(), std::optional<std::size_t>(0));
+  // Releasing slot 1 makes it the unique least-loaded worker.
+  registry.release(1);
+  EXPECT_EQ(registry.acquire(), std::optional<std::size_t>(1));
+}
+
+TEST(WorkerRegistry, DegradedWorkersAreALastResortAndDeadOnesNever) {
+  WorkerRegistry registry(slow_options());
+  const std::size_t a = registry.add_worker(ep(1));
+  const std::size_t b = registry.add_worker(ep(2));
+
+  // Degrade slot a only (the prober keys off the endpoint it is handed).
+  registry.set_prober([](const WorkerEndpoint& e) {
+    ProbeResult r;
+    r.ok = e.port != 1;
+    return r;
+  });
+  registry.probe_all();
+  registry.probe_all();
+  ASSERT_EQ(registry.health(a), WorkerHealth::kDegraded);
+  ASSERT_EQ(registry.health(b), WorkerHealth::kLive);
+
+  // While b is live, every acquisition lands on b — even as its load
+  // grows past the idle degraded slot's.
+  EXPECT_EQ(registry.acquire(), std::optional<std::size_t>(b));
+  EXPECT_EQ(registry.acquire(), std::optional<std::size_t>(b));
+
+  // Nothing live: the degraded slot is used rather than refusing.
+  registry.report_failure(b);
+  EXPECT_EQ(registry.acquire(), std::optional<std::size_t>(a));
+
+  // Nothing live or degraded: unroutable.
+  registry.report_failure(a);
+  EXPECT_EQ(registry.acquire(), std::nullopt);
+}
+
+TEST(WorkerRegistry, UnknownEndpointStartsDeadUntilUpdated) {
+  WorkerRegistry registry(slow_options());
+  const std::size_t slot = registry.add_worker(ep(0));  // pre-banner spawn
+  EXPECT_EQ(registry.health(slot), WorkerHealth::kDead);
+  EXPECT_EQ(registry.acquire(), std::nullopt);
+
+  // The supervisor's banner callback points the slot somewhere real and
+  // re-admits it.
+  registry.update_endpoint(slot, ep(4242));
+  EXPECT_EQ(registry.health(slot), WorkerHealth::kLive);
+  EXPECT_EQ(registry.endpoint(slot).port, 4242);
+  EXPECT_EQ(registry.acquire(), std::optional<std::size_t>(slot));
+}
+
+TEST(WorkerRegistry, ProbeGaugesSurfaceTheWorkersSelfReport) {
+  WorkerRegistry registry(slow_options());
+  const std::size_t slot = registry.add_worker(ep(1));
+  registry.set_prober([](const WorkerEndpoint&) {
+    ProbeResult r;
+    r.ok = true;
+    r.queue_depth = 3.0;
+    r.active_sessions = 2.0;
+    return r;
+  });
+  registry.probe_all();
+  EXPECT_EQ(registry.probed_queue_depth(slot), 3.0);
+  EXPECT_EQ(registry.probed_active_sessions(slot), 2.0);
+}
+
+TEST(ParseWorkerStatus, AcceptsStatusV1AndExtractsServeGauges) {
+  const ProbeResult r = fleet::parse_worker_status(
+      R"({"schema": "effitest-status-v1", "counters": {}, )"
+      R"("gauges": {"serve.queue_depth": 5, "serve.active_sessions": 2}, )"
+      R"("histograms": {}})");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.queue_depth, 5.0);
+  EXPECT_EQ(r.active_sessions, 2.0);
+}
+
+TEST(ParseWorkerStatus, MissingGaugesAreZeroNotFailure) {
+  const ProbeResult r = fleet::parse_worker_status(
+      R"({"schema": "effitest-status-v1", "counters": {}, "gauges": {}})");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.queue_depth, 0.0);
+  EXPECT_EQ(r.active_sessions, 0.0);
+}
+
+TEST(ParseWorkerStatus, RejectsMalformedAndForeignPayloads) {
+  EXPECT_FALSE(fleet::parse_worker_status("").ok);
+  EXPECT_FALSE(fleet::parse_worker_status("not json").ok);
+  EXPECT_FALSE(fleet::parse_worker_status("{}").ok);
+  EXPECT_FALSE(
+      fleet::parse_worker_status(R"({"schema": "something-else"})").ok);
+  EXPECT_FALSE(fleet::parse_worker_status(R"({"schema": 7})").ok);
+  EXPECT_FALSE(fleet::parse_worker_status(R"({"schema": )").ok);
+}
+
+TEST(ParseServingBanner, AcceptsTheServeBannerShape) {
+  const auto e = fleet::parse_serving_banner("serving on 127.0.0.1:4242");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->host, "127.0.0.1");
+  EXPECT_EQ(e->port, 4242);
+}
+
+TEST(ParseServingBanner, RejectsEverythingElse) {
+  EXPECT_FALSE(fleet::parse_serving_banner("").has_value());
+  EXPECT_FALSE(fleet::parse_serving_banner("served 2 session(s)").has_value());
+  EXPECT_FALSE(fleet::parse_serving_banner("serving on ").has_value());
+  EXPECT_FALSE(fleet::parse_serving_banner("serving on 127.0.0.1").has_value());
+  EXPECT_FALSE(
+      fleet::parse_serving_banner("serving on 127.0.0.1:").has_value());
+  EXPECT_FALSE(
+      fleet::parse_serving_banner("serving on :4242").has_value());
+  EXPECT_FALSE(
+      fleet::parse_serving_banner("serving on 127.0.0.1:0").has_value());
+  EXPECT_FALSE(
+      fleet::parse_serving_banner("serving on 127.0.0.1:65536").has_value());
+  EXPECT_FALSE(
+      fleet::parse_serving_banner("serving on 127.0.0.1:42x").has_value());
+}
+
+TEST(WorkerRegistry, DefaultProberSpeaksToARealServeLoop) {
+  net::ServeOptions soptions;
+  soptions.workers = 1;
+  net::TuneServeLoop loop(fleet_test::holder().service, soptions);
+  loop.start();
+
+  fleet::RegistryOptions roptions;
+  roptions.degraded_after = 1;
+  roptions.dead_after = 2;
+  roptions.probe_timeout_seconds = 5.0;
+  WorkerRegistry registry(roptions);
+  const std::size_t slot =
+      registry.add_worker({loop.host(), loop.port()});
+
+  // The in-band `status` request on the serve port is the health probe —
+  // no extra listener needed on the worker.
+  registry.probe_all();
+  EXPECT_EQ(registry.health(slot), WorkerHealth::kLive);
+
+  loop.request_drain();
+  loop.wait();
+
+  // The drained worker stops answering: degraded after one miss, dead
+  // after two, exactly like a crashed process.
+  registry.probe_all();
+  EXPECT_EQ(registry.health(slot), WorkerHealth::kDegraded);
+  registry.probe_all();
+  EXPECT_EQ(registry.health(slot), WorkerHealth::kDead);
+}
+
+}  // namespace

@@ -1,0 +1,28 @@
+// Fuzz target: the fleet's two worker-facing wire parsers. Both consume
+// attacker-adjacent bytes — parse_worker_status eats whatever a (possibly
+// hostile or corrupted) worker answers to a health probe, and
+// parse_serving_banner eats a spawned child's stdout — and both promise to
+// reject malformed input by returning ok=false / nullopt, never by
+// throwing or crashing. The input is split on the first newline so one
+// corpus file exercises both parsers.
+
+#include <string>
+
+#include "fleet/registry.hpp"
+#include "fleet/supervisor.hpp"
+#include "fuzz_driver.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const size_t split = text.find('\n');
+  const std::string first =
+      split == std::string::npos ? text : text.substr(0, split);
+  const std::string rest =
+      split == std::string::npos ? text : text.substr(split + 1);
+  (void)effitest::fleet::parse_worker_status(first);
+  (void)effitest::fleet::parse_worker_status(rest);
+  (void)effitest::fleet::parse_serving_banner(first);
+  (void)effitest::fleet::parse_serving_banner(rest);
+  return 0;
+}

@@ -67,13 +67,35 @@
 //             --status-port binds an extra plaintext endpoint (0 =
 //             ephemeral, announced as `status on <host>:<port>`) where any
 //             connection receives the live effitest-status-v1 JSON line.
-//   status    --connect=host:port
-//             Poll a serve fleet's live metrics: print the one-line
-//             effitest-status-v1 JSON (obs::MetricsRegistry snapshot) on
-//             stdout and a human summary (sessions done/active,
-//             sessions/sec, latency p50/p99) on stderr. Works against the
-//             serve port (the in-band `status` request) and against a
-//             --status-port endpoint — poll mid-run; nothing is perturbed.
+//   balance   --workers=host:port,... and/or --spawn=N
+//             [--circuit/--bench/... forwarded to spawned workers]
+//             [--host=H] [--port=P] [--relay-workers=N] [--max-pending=N]
+//             [--max-sessions=N] [--retries=N] [--io-timeout=S]
+//             [--status-port=P] [--probe-interval=S]
+//             Front balancer for a multi-process tuning fleet
+//             (src/fleet/): accept tester connections on one port and
+//             route each session to the least-loaded live worker.
+//             --workers lists externally-managed serve processes;
+//             --spawn=N forks N `serve --port=0` children locally
+//             (restart-on-crash with backoff; circuit/flow options are
+//             forwarded to them). A worker registry polls every worker's
+//             status endpoint on --probe-interval and walks failures
+//             through live/degraded/dead; a session whose worker dies
+//             mid-run is transparently replayed on a survivor
+//             (byte-identical reports — the exchange is deterministic
+//             under the shared seed base), with --retries bounding the
+//             re-attach attempts. Prints `balancing on <host>:<port>`
+//             when ready; SIGTERM/SIGINT drain gracefully (finish every
+//             in-flight session, then SIGTERM the spawned workers).
+//   status    --connect=host:port [--format=json|prometheus]
+//             Poll a serve or balance fleet's live metrics: print the
+//             one-line effitest-status-v1 JSON (obs::MetricsRegistry
+//             snapshot) on stdout and a human summary (sessions
+//             done/active, sessions/sec, latency p50/p99) on stderr —
+//             or, with --format=prometheus, the text exposition format
+//             (the in-band `status prometheus` request). Works against
+//             the serve/balance port and against a --status-port
+//             endpoint — poll mid-run; nothing is perturbed.
 //
 // run/campaign/tune/serve also accept --log-format=text|json and
 // --log-file=path: a structured event log (obs::StructuredLog,
@@ -114,6 +136,9 @@
 #include "core/flow.hpp"
 #include "core/table.hpp"
 #include "core/tuner_service.hpp"
+#include "fleet/balancer.hpp"
+#include "fleet/registry.hpp"
+#include "fleet/supervisor.hpp"
 #include "io/bench_json.hpp"
 #include "io/checkpoint_json.hpp"
 #include "io/json.hpp"
@@ -289,16 +314,16 @@ const std::map<std::string, CommandSpec>& command_specs() {
        {{"spec"}, {}, "circuits [--spec=file.json]"}},
       {"tune",
        {{"bench", "buffers", "policy", "circuit", "chips", "td", "quantile",
-         "seed", "threads", "log", "responses", "connect", "window",
-         "log-format", "log-file"},
+         "seed", "threads", "log", "responses", "connect", "connect-retries",
+         "window", "log-format", "log-file"},
         {"simulate", "lenient"},
         "tune     --bench=file [--buffers=N] [--policy=p] | "
         "--circuit=<name>\n"
         "         [--chips=N] [--td=ps] [--quantile=q] [--seed=S]\n"
         "         [--threads=N] [--simulate] [--lenient] [--log=file] "
         "[--responses=file]\n"
-        "         [--window=W] [--connect=host:port] "
-        "[--log-format=text|json] [--log-file=path]"}},
+        "         [--window=W] [--connect=host:port] [--connect-retries=N]\n"
+        "         [--log-format=text|json] [--log-file=path]"}},
       {"serve",
        {{"bench", "buffers", "policy", "circuit", "td", "quantile", "seed",
          "threads", "host", "port", "workers", "max-pending", "window",
@@ -313,8 +338,25 @@ const std::map<std::string, CommandSpec>& command_specs() {
         "[--io-timeout=S]\n"
         "         [--status-port=P] [--log-format=text|json] "
         "[--log-file=path]"}},
+      {"balance",
+       {{"workers", "spawn", "bench", "buffers", "policy", "circuit", "td",
+         "quantile", "seed", "threads", "host", "port", "relay-workers",
+         "max-pending", "max-sessions", "retries", "io-timeout",
+         "status-port", "probe-interval", "log-format", "log-file"},
+        {},
+        "balance  --workers=host:port,... and/or --spawn=N\n"
+        "         [--bench=file [--buffers=N] [--policy=p] | "
+        "--circuit=<name>]\n"
+        "         [--td=ps] [--quantile=q] [--seed=S] [--threads=N]\n"
+        "         [--host=H] [--port=P] [--relay-workers=N] "
+        "[--max-pending=N]\n"
+        "         [--max-sessions=N] [--retries=N] [--io-timeout=S]\n"
+        "         [--status-port=P] [--probe-interval=S] "
+        "[--log-format=text|json] [--log-file=path]"}},
       {"status",
-       {{"connect"}, {}, "status   --connect=host:port"}},
+       {{"connect", "format"},
+        {},
+        "status   --connect=host:port [--format=json|prometheus]"}},
   };
   return specs;
 }
@@ -324,7 +366,7 @@ void usage(std::ostream& os) {
   // Stable presentation order (not the map's alphabetical one).
   for (const char* name : {"help", "generate", "info", "ssta", "run",
                            "campaign", "circuits", "tune", "serve",
-                           "status"}) {
+                           "balance", "status"}) {
     os << "  " << command_specs().at(name).usage << '\n';
   }
   os << "paper circuits: s9234 s13207 s15850 s38584 mem_ctrl usb_funct "
@@ -899,6 +941,9 @@ int cmd_tune_connect(const Cli& cli, const std::string& target) {
   if (const auto window = cli.get("window")) {
     copts.window = parse_size("window", *window);
   }
+  if (const auto retries = cli.get("connect-retries")) {
+    copts.connect_retries = parse_size("connect-retries", *retries);
+  }
   copts.lenient = cli.has_flag("lenient");
   const net::ClientResult result =
       net::run_loopback_client(host, port, circuit->problem, copts);
@@ -922,6 +967,10 @@ int cmd_tune_connect(const Cli& cli, const std::string& target) {
 int cmd_tune(const Cli& cli) {
   if (const auto target = cli.get("connect")) {
     return cmd_tune_connect(cli, *target);
+  }
+  if (cli.get("connect-retries")) {
+    throw UsageError(
+        "tune: --connect-retries only applies with --connect=host:port");
   }
   // Mode exclusivity up front, in the same no-silent-surprises spirit (and
   // with the same usage exit code 2) as the option whitelists: --simulate
@@ -1096,10 +1145,173 @@ int cmd_serve(const Cli& cli) {
   return 0;
 }
 
+/// SIGTERM/SIGINT target for `balance` — same async-signal-safety story as
+/// serve's handler: only the balancer's request_drain() is signal-safe.
+/// Supervisor drain (kill/waitpid/join) happens on the main thread after
+/// the balancer's wait() returns.
+fleet::FleetBalancer* g_fleet_balancer = nullptr;
+
+extern "C" void balance_signal_handler(int) {
+  if (g_fleet_balancer != nullptr) g_fleet_balancer->request_drain();
+}
+
+int cmd_balance(const Cli& cli) {
+  const LogSink sink = make_structured_log(cli);
+
+  std::vector<fleet::WorkerEndpoint> endpoints;
+  if (const auto workers = cli.get("workers")) {
+    for (const std::string& target : split_list(*workers)) {
+      const auto [host, port] = split_host_port("workers", target);
+      if (port == 0) {
+        throw UsageError("--workers=" + target +
+                         ": a worker needs a nonzero port");
+      }
+      endpoints.push_back(fleet::WorkerEndpoint{host, port});
+    }
+  }
+  std::size_t spawn = 0;
+  if (const auto s = cli.get("spawn")) spawn = parse_size("spawn", *s);
+  if (endpoints.empty() && spawn == 0) {
+    throw UsageError("balance needs --workers=host:port,... and/or --spawn=N");
+  }
+  // Circuit/flow options configure the spawned serve children; with only
+  // external --workers they would be silently ignored — reject instead.
+  static const char* kForwarded[] = {"circuit", "bench",     "buffers",
+                                     "policy",  "td",        "quantile",
+                                     "seed",    "threads"};
+  if (spawn == 0) {
+    for (const char* opt : kForwarded) {
+      if (cli.get(opt)) {
+        throw UsageError(std::string("balance: --") + opt +
+                         " configures --spawn'd workers; external --workers "
+                         "carry their own circuit");
+      }
+    }
+  } else {
+    // The children must be able to provision a circuit at all; fail here
+    // rather than with N cryptic child exits.
+    if (!cli.get("circuit") && !cli.get("bench")) {
+      throw UsageError(
+          "balance: --spawn needs --circuit=<name> or --bench=<file> for "
+          "the workers");
+    }
+  }
+
+  fleet::RegistryOptions ropts;
+  if (const auto interval = cli.get("probe-interval")) {
+    ropts.probe_interval_seconds = parse_double("probe-interval", *interval);
+  }
+  fleet::WorkerRegistry registry(ropts);
+  for (const fleet::WorkerEndpoint& endpoint : endpoints) {
+    (void)registry.add_worker(endpoint);
+  }
+  std::vector<std::size_t> spawn_slots;
+  spawn_slots.reserve(spawn);
+  for (std::size_t i = 0; i < spawn; ++i) {
+    // Port unknown until the child's banner; the slot starts unroutable.
+    spawn_slots.push_back(
+        registry.add_worker(fleet::WorkerEndpoint{"127.0.0.1", 0}));
+  }
+
+  std::unique_ptr<fleet::ProcessSupervisor> supervisor;
+  if (spawn > 0) {
+    fleet::SupervisorOptions sup;
+    sup.children = spawn;
+    sup.log = sink.log;
+    sup.argv = {"/proc/self/exe", "serve", "--port=0"};
+    for (const char* opt : kForwarded) {
+      if (const auto value = cli.get(opt)) {
+        sup.argv.push_back("--" + std::string(opt) + "=" + *value);
+      }
+    }
+    supervisor = std::make_unique<fleet::ProcessSupervisor>(
+        std::move(sup),
+        [&registry, spawn_slots](std::size_t child,
+                                 const fleet::WorkerEndpoint& endpoint) {
+          registry.update_endpoint(spawn_slots[child], endpoint);
+        });
+  }
+
+  fleet::BalancerOptions bopts;
+  bopts.log = sink.log;
+  if (const auto host = cli.get("host")) bopts.host = *host;
+  if (const auto port = cli.get("port")) {
+    bopts.port = parse_port("port", *port);
+  }
+  if (const auto status_port = cli.get("status-port")) {
+    bopts.status_port =
+        static_cast<int>(parse_port("status-port", *status_port));
+  }
+  if (const auto relay = cli.get("relay-workers")) {
+    bopts.relay_workers = parse_size("relay-workers", *relay);
+    if (bopts.relay_workers == 0) {
+      throw UsageError("--relay-workers must be at least 1");
+    }
+  }
+  if (const auto pending = cli.get("max-pending")) {
+    bopts.max_pending = parse_size("max-pending", *pending);
+  }
+  if (const auto sessions = cli.get("max-sessions")) {
+    bopts.max_sessions = parse_size("max-sessions", *sessions);
+  }
+  if (const auto retries = cli.get("retries")) {
+    bopts.max_session_retries = parse_size("retries", *retries);
+  }
+  if (const auto timeout = cli.get("io-timeout")) {
+    bopts.io_timeout_seconds = parse_double("io-timeout", *timeout);
+  }
+
+  // All registry slots exist by here (the FleetBalancer per-slot gauge
+  // contract); endpoints still flow in from banners afterwards.
+  fleet::FleetBalancer balancer(registry, bopts);
+  if (supervisor != nullptr) supervisor->start();  // blocks until banners
+  registry.start_probing();
+  balancer.start();
+  g_fleet_balancer = &balancer;
+  std::signal(SIGTERM, balance_signal_handler);
+  std::signal(SIGINT, balance_signal_handler);
+  std::cout << "balancing on " << balancer.host() << ":" << balancer.port()
+            << std::endl;
+  if (bopts.status_port >= 0) {
+    std::cout << "status on " << balancer.host() << ":"
+              << balancer.status_port() << std::endl;
+  }
+  balancer.wait();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_fleet_balancer = nullptr;
+  registry.stop_probing();
+  if (supervisor != nullptr) supervisor->drain();
+
+  const obs::RegistrySnapshot m = balancer.metrics();
+  std::cerr << "balanced " << m.counter(fleet::kFleetSessionsCompleted)
+            << " session(s) (" << m.counter(fleet::kFleetSessionsFailed)
+            << " failed, " << m.counter(fleet::kFleetSessionsRetried)
+            << " retried) across " << registry.size() << " worker(s) in "
+            << core::Table::num(m.gauge(fleet::kFleetWallSeconds), 2)
+            << " s ("
+            << core::Table::num(m.gauge(fleet::kFleetSessionsPerSec), 1)
+            << " sessions/s)";
+  if (supervisor != nullptr) {
+    std::cerr << "; " << supervisor->restarts() << " worker restart(s)";
+  }
+  std::cerr << '\n';
+  return 0;
+}
+
 int cmd_status(const Cli& cli) {
   const auto target = cli.get("connect");
   if (!target) throw UsageError("status needs --connect=host:port");
   const auto [host, port] = split_host_port("connect", *target);
+  if (const auto format = cli.get("format")) {
+    if (*format == "prometheus") {
+      std::cout << net::fetch_prometheus(host, port);
+      return 0;
+    }
+    if (*format != "json") {
+      throw UsageError("--format=" + *format + ": expected json or prometheus");
+    }
+  }
   const std::string line = net::fetch_status(host, port);
   // The machine-readable line alone on stdout (pipe into python/jq); the
   // human summary goes to stderr like every other end-of-run summary.
@@ -1159,6 +1371,7 @@ int main(int argc, char** argv) {
     if (cli.command == "circuits") return cmd_circuits(cli);
     if (cli.command == "tune") return cmd_tune(cli);
     if (cli.command == "serve") return cmd_serve(cli);
+    if (cli.command == "balance") return cmd_balance(cli);
     if (cli.command == "status") return cmd_status(cli);
     return 2;  // unreachable: validate_cli rejected unknown commands
   } catch (const UsageError& e) {
