@@ -1,0 +1,440 @@
+#include "analytic/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "core/yield.hpp"
+#include "parallel/deterministic_for.hpp"
+#include "stats/distributions.hpp"
+
+namespace effitest::analytic {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+using timing::CanonicalDelay;
+
+/// DelayForm -> canonical form (the ssta model-variant convention: gate
+/// mismatch and extra inflation become independent variance).
+[[nodiscard]] CanonicalDelay to_canonical(const timing::DelayForm& f) {
+  CanonicalDelay d;
+  d.mean = f.mean;
+  d.loading = f.loading;
+  d.indep_var = f.mismatch_var + f.extra_indep_var;
+  return d;
+}
+
+/// Canonical form of one pair's true max delay (max over near-critical
+/// alternatives — the quantity the pass rule tests).
+[[nodiscard]] CanonicalDelay pair_form(const timing::MonitoredPair& p) {
+  std::vector<CanonicalDelay> alts;
+  alts.reserve(p.max_alts.size());
+  for (const timing::DelayForm& f : p.max_alts) alts.push_back(to_canonical(f));
+  if (alts.empty()) return to_canonical(p.max_form);
+  return timing::statistical_max(alts);
+}
+
+/// Scale a canonical form by 1/k (cycle ratio).
+[[nodiscard]] CanonicalDelay scale_form(CanonicalDelay f, double inv_k) {
+  f.mean *= inv_k;
+  for (auto& [idx, w] : f.loading) w *= inv_k;
+  f.indep_var *= inv_k * inv_k;
+  return f;
+}
+
+/// P(f > acc) under the joint Gaussian of two canonical forms — the Clark
+/// tie probability the criticality fold accumulates.
+[[nodiscard]] double tie_probability(const CanonicalDelay& acc,
+                                     const CanonicalDelay& f) {
+  const double theta2 = std::max(
+      acc.variance() + f.variance() - 2.0 * timing::canonical_cov(acc, f), 0.0);
+  const double theta = std::sqrt(theta2);
+  if (theta < 1e-12) return f.mean > acc.mean ? 1.0 : 0.0;
+  return stats::normal_cdf((f.mean - acc.mean) / theta);
+}
+
+/// One merged delay edge of the contracted graph: dst node -> src node.
+struct Edge {
+  int from = 0;  ///< node of the pair's destination buffer (0 = unbuffered)
+  int to = 0;    ///< node of the pair's source buffer
+  CanonicalDelay delay;        ///< statistical max over parallel pairs
+  std::size_t dominant = 0;    ///< pair index with the largest mean delay
+  double dominant_mean = kNegInf;
+  bool init = false;
+};
+
+/// DP cell: best (statistical max) walk score reaching a node, plus the
+/// argmax-by-mean predecessor for the criticality traceback.
+struct State {
+  CanonicalDelay form;
+  bool valid = false;
+  int pred_node = -1;
+  /// >= 0: dominant pair of the delay edge taken; -1: range-edge closure.
+  long long pred_pair = -1;
+  double best_mean = kNegInf;
+};
+
+void merge_state(State& st, const CanonicalDelay& cand, int pred_node,
+                 long long pred_pair) {
+  if (!st.valid) {
+    st.form = cand;
+    st.valid = true;
+    st.pred_node = pred_node;
+    st.pred_pair = pred_pair;
+    st.best_mean = cand.mean;
+    return;
+  }
+  if (cand.mean > st.best_mean) {
+    st.pred_node = pred_node;
+    st.pred_pair = pred_pair;
+    st.best_mean = cand.mean;
+  }
+  st.form = timing::canonical_max(st.form, cand);
+}
+
+/// Range-edge closure at one DP level: hop src -> node 0 (score +l_src),
+/// then node 0 -> any buffer c (score -u_c). One pass of each suffices —
+/// the range edges form a star at node 0 and a repeated 0 -> c -> 0 hop
+/// costs l_c - u_c <= 0, so it never improves a max walk.
+void range_closure(std::vector<State>& level, const std::vector<double>& lo,
+                   const std::vector<double>& up) {
+  const std::size_t n = level.size();
+  for (std::size_t b = 1; b < n; ++b) {
+    if (!level[b].valid) continue;
+    merge_state(level[0], timing::canonical_shift(level[b].form, lo[b]),
+                static_cast<int>(b), -1);
+  }
+  if (!level[0].valid) return;
+  for (std::size_t c = 1; c < n; ++c) {
+    merge_state(level[c], timing::canonical_shift(level[0].form, -up[c]), 0,
+                -1);
+  }
+}
+
+}  // namespace
+
+double TunedPeriodAnalysis::yield_at(double period) const {
+  const double s = tuned.sigma();
+  if (s < 1e-12) return period >= tuned.mean ? 1.0 : 0.0;
+  return stats::normal_cdf((period - tuned.mean) / s);
+}
+
+double TunedPeriodAnalysis::tuned_quantile(double q) const {
+  return tuned.quantile(q);
+}
+
+std::vector<std::pair<double, double>> TunedPeriodAnalysis::yield_curve(
+    double lo, double hi, std::size_t points) const {
+  std::vector<std::pair<double, double>> curve;
+  if (points == 0) return curve;
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t =
+        points == 1 ? lo
+                    : lo + (hi - lo) * static_cast<double>(i) /
+                               static_cast<double>(points - 1);
+    curve.emplace_back(t, yield_at(t));
+  }
+  return curve;
+}
+
+TunedPeriodAnalysis analyze_tuned_period(const core::Problem& problem,
+                                         const AnalysisOptions& options) {
+  const timing::CircuitModel& model = problem.model();
+  const std::size_t np = model.num_pairs();
+  if (np == 0) {
+    throw std::invalid_argument("analyze_tuned_period: model has no pairs");
+  }
+  const std::size_t nb = problem.num_buffers();
+  const std::size_t n = nb + 1;  // node 0 = all unbuffered registers (x = 0)
+  const int max_k = options.max_cycle_edges > 0
+                        ? options.max_cycle_edges
+                        : static_cast<int>(n);
+
+  // Buffer ranges per node (node 0 is pinned at zero).
+  std::vector<double> lo(n, 0.0), up(n, 0.0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    lo[b + 1] = problem.buffers()[b].r;
+    up[b + 1] = problem.buffers()[b].r + problem.buffers()[b].tau;
+  }
+
+  // Untuned required period: statistical max over every monitored
+  // near-critical form plus the promoted static background.
+  std::vector<CanonicalDelay> untuned_forms;
+  for (const timing::MonitoredPair& p : model.pairs()) {
+    for (const timing::DelayForm& f : p.max_alts) {
+      untuned_forms.push_back(to_canonical(f));
+    }
+    if (p.max_alts.empty()) untuned_forms.push_back(to_canonical(p.max_form));
+  }
+  for (const timing::DelayForm& f : model.static_forms()) {
+    untuned_forms.push_back(to_canonical(f));
+  }
+
+  TunedPeriodAnalysis out;
+  out.untuned = timing::statistical_max(untuned_forms);
+  out.pair_criticality.assign(np, 0.0);
+
+  // Merge parallel pair edges per contracted-graph arc dst -> src.
+  std::map<std::pair<int, int>, Edge> edge_map;
+  for (std::size_t p = 0; p < np; ++p) {
+    const int from = problem.dst_buffer(p) + 1;  // -1 (unbuffered) -> node 0
+    const int to = problem.src_buffer(p) + 1;
+    const CanonicalDelay d = pair_form(model.pairs()[p]);
+    Edge& e = edge_map[{from, to}];
+    e.from = from;
+    e.to = to;
+    e.delay = e.init ? timing::canonical_max(e.delay, d) : d;
+    e.init = true;
+    if (d.mean > e.dominant_mean) {
+      e.dominant = p;
+      e.dominant_mean = d.mean;
+    }
+  }
+  std::vector<Edge> edges;
+  edges.reserve(edge_map.size());
+  for (auto& [key, e] : edge_map) edges.push_back(std::move(e));
+
+  // Candidate cycles. The promoted static background contracts into a
+  // node-0 self-loop with no slack: one merged candidate.
+  if (model.num_static_pairs() > 0) {
+    std::vector<CanonicalDelay> statics;
+    statics.reserve(model.num_static_pairs());
+    for (const timing::DelayForm& f : model.static_forms()) {
+      statics.push_back(to_canonical(f));
+    }
+    CandidateConstraint c;
+    c.period = timing::statistical_max(statics);
+    c.num_edges = 1;
+    c.is_static = true;
+    out.candidates.push_back(std::move(c));
+  }
+
+  // Depth-limited DP from every start node: level[k][v] = statistical max
+  // over walks start -> v with exactly k delay edges (range hops free) of
+  // (sum of delays - range slack). A walk closing at the start with k >= 1
+  // edges is a candidate cycle requiring T >= score / k.
+  std::map<std::vector<std::size_t>, std::size_t> seen_cycles;
+  for (std::size_t start = 0; start < n; ++start) {
+    std::vector<std::vector<State>> level(
+        static_cast<std::size_t>(max_k) + 1, std::vector<State>(n));
+    level[0][start].valid = true;  // zero form
+    range_closure(level[0], lo, up);
+    for (int k = 1; k <= max_k; ++k) {
+      for (const Edge& e : edges) {
+        const State& prev = level[k - 1][static_cast<std::size_t>(e.from)];
+        if (!prev.valid) continue;
+        merge_state(level[k][static_cast<std::size_t>(e.to)],
+                    timing::canonical_sum(prev.form, e.delay), e.from,
+                    static_cast<long long>(e.dominant));
+      }
+      range_closure(level[k], lo, up);
+      const State& back = level[k][start];
+      if (!back.valid) continue;
+
+      // Traceback the argmax-by-mean cycle for criticality attribution.
+      std::vector<std::size_t> cycle_pairs;
+      int node = static_cast<int>(start);
+      int kk = k;
+      bool ok = true;
+      for (std::size_t guard = 0; kk > 0 || node != static_cast<int>(start);
+           ++guard) {
+        if (guard > 4 * n * static_cast<std::size_t>(max_k) + 8) {
+          ok = false;
+          break;
+        }
+        const State& st = level[static_cast<std::size_t>(kk)]
+                               [static_cast<std::size_t>(node)];
+        if (st.pred_pair >= 0) {
+          cycle_pairs.push_back(static_cast<std::size_t>(st.pred_pair));
+          --kk;
+        }
+        node = st.pred_node;
+      }
+      if (!ok) cycle_pairs.clear();
+      std::sort(cycle_pairs.begin(), cycle_pairs.end());
+
+      // The same simple cycle is reachable from each of its nodes; keep the
+      // tightest form per pair multiset.
+      const CanonicalDelay period =
+          scale_form(back.form, 1.0 / static_cast<double>(k));
+      auto [it, inserted] =
+          seen_cycles.try_emplace(cycle_pairs, out.candidates.size());
+      if (inserted) {
+        CandidateConstraint c;
+        c.period = period;
+        c.pairs = cycle_pairs;
+        c.num_edges = k;
+        out.candidates.push_back(std::move(c));
+      } else if (period.mean > out.candidates[it->second].period.mean) {
+        out.candidates[it->second].period = period;
+        out.candidates[it->second].num_edges = k;
+      }
+    }
+  }
+
+  if (out.candidates.empty()) {
+    throw std::invalid_argument(
+        "analyze_tuned_period: no constraint cycle (disconnected tuning "
+        "graph)");
+  }
+
+  // Criticality fold: largest mean first; each new candidate takes the tie
+  // probability of beating the running max, previous candidates keep the
+  // complement. Masses sum to 1 by construction.
+  std::stable_sort(out.candidates.begin(), out.candidates.end(),
+                   [](const CandidateConstraint& a,
+                      const CandidateConstraint& b) {
+                     return a.period.mean > b.period.mean;
+                   });
+  CanonicalDelay acc = out.candidates.front().period;
+  out.candidates.front().criticality = 1.0;
+  for (std::size_t i = 1; i < out.candidates.size(); ++i) {
+    const CanonicalDelay& f = out.candidates[i].period;
+    if (f.mean + 4.5 * f.sigma() < acc.mean - 4.5 * acc.sigma()) {
+      out.candidates[i].criticality = 0.0;
+      continue;
+    }
+    const double p = tie_probability(acc, f);
+    for (std::size_t j = 0; j < i; ++j) {
+      out.candidates[j].criticality *= 1.0 - p;
+    }
+    out.candidates[i].criticality = p;
+    acc = timing::canonical_max(acc, f);
+  }
+  out.tuned = acc;
+
+  // Attribute each candidate's mass to the register pairs of its cycle.
+  for (const CandidateConstraint& c : out.candidates) {
+    if (c.is_static) {
+      out.static_criticality += c.criticality;
+      continue;
+    }
+    if (c.pairs.empty()) continue;
+    const double share =
+        c.criticality / static_cast<double>(c.pairs.size());
+    for (std::size_t p : c.pairs) out.pair_criticality[p] += share;
+  }
+  return out;
+}
+
+double min_feasible_period(const core::Problem& problem,
+                           const timing::Chip& chip) {
+  const timing::CircuitModel& model = problem.model();
+  const std::size_t np = model.num_pairs();
+  const std::size_t nb = problem.num_buffers();
+  const std::size_t n = nb + 1;
+
+  std::vector<double> lo_x(n, 0.0), up_x(n, 0.0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    lo_x[b + 1] = problem.buffers()[b].r;
+    up_x[b + 1] = problem.buffers()[b].r + problem.buffers()[b].tau;
+  }
+
+  // Merge parallel pair edges: only the largest sampled delay binds.
+  struct FlatEdge {
+    int from, to;
+    double delay;
+  };
+  std::vector<double> merged(n * n, kNegInf);
+  for (std::size_t p = 0; p < np; ++p) {
+    const std::size_t from = static_cast<std::size_t>(problem.dst_buffer(p) + 1);
+    const std::size_t to = static_cast<std::size_t>(problem.src_buffer(p) + 1);
+    merged[from * n + to] = std::max(merged[from * n + to], chip.max_delay[p]);
+  }
+  std::vector<FlatEdge> edges;
+  double lower = 0.0;
+  for (const double d : chip.static_delay) lower = std::max(lower, d);
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      const double d = merged[from * n + to];
+      if (d == kNegInf) continue;
+      edges.push_back({static_cast<int>(from), static_cast<int>(to), d});
+      // Exact single-edge bound: the cycle src -> 0 -> dst -> src requires
+      // T >= D + l_src - u_dst (zero slack on a self-loop).
+      lower = std::max(lower, from == to ? d : d + lo_x[to] - up_x[from]);
+    }
+  }
+  if (edges.empty()) return lower;
+
+  // Feasible(T) <=> no negative cycle among delay edges (weight T - D) and
+  // range edges 0 -> b (u_b), b -> 0 (-l_b). All-zero initial distances act
+  // as a virtual source reaching every node.
+  std::vector<double> dist(n);
+  const auto feasible = [&](double T) {
+    std::fill(dist.begin(), dist.end(), 0.0);
+    for (std::size_t pass = 0; pass <= n; ++pass) {
+      bool relaxed = false;
+      for (const FlatEdge& e : edges) {
+        const double cand = dist[static_cast<std::size_t>(e.from)] + T - e.delay;
+        if (cand < dist[static_cast<std::size_t>(e.to)] - 1e-12) {
+          dist[static_cast<std::size_t>(e.to)] = cand;
+          relaxed = true;
+        }
+      }
+      for (std::size_t b = 1; b < n; ++b) {
+        if (dist[0] + up_x[b] < dist[b] - 1e-12) {
+          dist[b] = dist[0] + up_x[b];
+          relaxed = true;
+        }
+        if (dist[b] - lo_x[b] < dist[0] - 1e-12) {
+          dist[0] = dist[b] - lo_x[b];
+          relaxed = true;
+        }
+      }
+      if (!relaxed) return true;
+    }
+    return false;
+  };
+
+  double hi = std::max(core::untuned_required_period(problem, chip), lower);
+  if (feasible(lower)) return lower;
+  double lo = lower;
+  for (int it = 0;
+       it < 64 && hi - lo > 1e-9 * std::max(1.0, std::abs(hi)); ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (feasible(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+double McTunedPeriod::quantile(double q) const {
+  if (periods.empty()) return 0.0;
+  std::vector<double> sorted = periods;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+  idx = std::min(idx, sorted.size() - 1);
+  return sorted[idx];
+}
+
+McTunedPeriod mc_tuned_period(const core::Problem& problem,
+                              const McTunedOptions& options) {
+  McTunedPeriod out;
+  out.periods.assign(options.chips, 0.0);
+  parallel::ForOptions opts;
+  opts.threads = options.threads;
+  parallel::deterministic_for(
+      options.chips, opts, options.seed,
+      [&](std::size_t i, stats::Rng& rng) {
+        timing::SampleWorkspace ws;
+        const timing::Chip chip = problem.model().sample_chip(rng, ws);
+        out.periods[i] = min_feasible_period(problem, chip);
+      });
+  if (out.periods.empty()) return out;
+  double sum = 0.0;
+  for (const double p : out.periods) sum += p;
+  out.mean = sum / static_cast<double>(out.periods.size());
+  double ss = 0.0;
+  for (const double p : out.periods) ss += (p - out.mean) * (p - out.mean);
+  out.sigma = out.periods.size() > 1
+                  ? std::sqrt(ss / static_cast<double>(out.periods.size() - 1))
+                  : 0.0;
+  return out;
+}
+
+}  // namespace effitest::analytic

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "analytic/engine.hpp"
 #include "core/yield.hpp"
 #include "obs/log.hpp"
 #include "parallel/deterministic_for.hpp"
 #include "scenario/circuit_catalog.hpp"
+#include "stats/distributions.hpp"
 
 namespace effitest::core {
 
@@ -23,21 +26,38 @@ double seconds_since(Clock::time_point t0) {
 
 }  // namespace
 
+const char* job_kind_name(JobKind kind) {
+  return kind == JobKind::kAnalytic ? "analytic" : "flow";
+}
+
+JobKind job_kind_from(const std::string& name) {
+  if (name == "flow") return JobKind::kFlow;
+  if (name == "analytic") return JobKind::kAnalytic;
+  throw std::invalid_argument("unknown job kind \"" + name +
+                              "\" (valid: flow analytic)");
+}
+
 CampaignRunner::CampaignRunner(CampaignOptions options)
     : options_(std::move(options)) {}
 
 std::vector<CampaignJob> CampaignRunner::cross(
     const std::vector<std::string>& circuits,
-    const std::vector<double>& quantiles) {
+    const std::vector<double>& quantiles,
+    const std::vector<JobKind>& kinds) {
+  const std::vector<JobKind> effective_kinds =
+      kinds.empty() ? std::vector<JobKind>{JobKind::kFlow} : kinds;
   std::vector<CampaignJob> jobs;
-  jobs.reserve(circuits.size() * std::max<std::size_t>(quantiles.size(), 1));
+  jobs.reserve(circuits.size() * std::max<std::size_t>(quantiles.size(), 1) *
+               effective_kinds.size());
   for (const std::string& circuit : circuits) {
-    if (quantiles.empty()) {
-      jobs.push_back(CampaignJob{circuit, 0.0, -1.0});
-      continue;
-    }
-    for (double q : quantiles) {
-      jobs.push_back(CampaignJob{circuit, 0.0, q});
+    for (const JobKind kind : effective_kinds) {
+      if (quantiles.empty()) {
+        jobs.push_back(CampaignJob{circuit, 0.0, -1.0, kind});
+        continue;
+      }
+      for (double q : quantiles) {
+        jobs.push_back(CampaignJob{circuit, 0.0, q, kind});
+      }
     }
   }
   return jobs;
@@ -82,7 +102,7 @@ CampaignResult CampaignRunner::run(
     const CampaignJob& job = jobs[idx];
     if (result.job.circuit != job.circuit ||
         result.job.designated_period != job.designated_period ||
-        result.job.quantile != job.quantile) {
+        result.job.quantile != job.quantile || result.job.kind != job.kind) {
       throw std::invalid_argument(
           "CampaignRunner: completed job " + std::to_string(idx) +
           " does not match the submitted job list");
@@ -138,8 +158,10 @@ CampaignResult CampaignRunner::run(
     const Problem& problem = circuit->problem;
 
     // Null for the first job (fresh prepare); every later job of the
-    // circuit aliases the first job's artifacts — no copies.
+    // circuit aliases the first job's artifacts — no copies. The analytic
+    // engine result is likewise computed once per circuit (T_d-independent).
     std::shared_ptr<const FlowArtifacts> prepared;
+    std::optional<analytic::TunedPeriodAnalysis> analysis;
     for (std::size_t idx : indices) {
       const CampaignJob& job = jobs[idx];
       FlowOptions opts = options_.flow;
@@ -149,24 +171,57 @@ CampaignResult CampaignRunner::run(
         opts.batching.exclusions = circuit->exclusions;
       }
       const auto j0 = Clock::now();  // job time includes T_d calibration
-      if (opts.designated_period <= 0.0 && job.quantile >= 0.0) {
+      // Analytic jobs with the default convention (no T_d, no quantile)
+      // calibrate at the T1 median, so flow and analytic yields of the same
+      // sweep line up at identical designated periods.
+      const double quantile = job.quantile >= 0.0
+                                  ? job.quantile
+                                  : (job.kind == JobKind::kAnalytic ? 0.5
+                                                                    : -1.0);
+      if (opts.designated_period <= 0.0 && quantile >= 0.0) {
         stats::Rng calibration(options_.flow.seed ^
                                kQuantileCalibrationSeedXor);
         opts.designated_period = period_quantile(
-            problem, job.quantile, options_.calibration_chips, calibration);
+            problem, quantile, options_.calibration_chips, calibration);
       }
 
-      FlowResult result = run_flow(problem, opts, prepared);
       CampaignJobResult& slot = out.jobs[idx];
       slot.job = job;
-      slot.metrics = result.metrics;
+      if (job.kind == JobKind::kAnalytic) {
+        if (!analysis) {
+          analysis = analytic::analyze_tuned_period(problem);
+        }
+        FlowMetrics m;
+        m.nb = problem.num_buffers();
+        m.np = problem.model().num_pairs();
+        m.designated_period = opts.designated_period;
+        m.untuned_mean = analysis->untuned.mean;
+        m.untuned_sigma = analysis->untuned.sigma();
+        m.tuned_mean = analysis->tuned.mean;
+        m.tuned_sigma = analysis->tuned.sigma();
+        // Analytic yields at T_d: untuned (no buffers) and post-tuning
+        // (ideal configuration) — the Clark counterparts of the flow's
+        // yield_no_buffer / yield_ideal columns.
+        const double us = analysis->untuned.sigma();
+        m.yield_no_buffer =
+            us < 1e-12
+                ? (opts.designated_period >= analysis->untuned.mean ? 1.0
+                                                                    : 0.0)
+                : stats::normal_cdf(
+                      (opts.designated_period - analysis->untuned.mean) / us);
+        m.yield_ideal = analysis->yield_at(opts.designated_period);
+        slot.metrics = m;
+      } else {
+        FlowResult result = run_flow(problem, opts, prepared);
+        slot.metrics = result.metrics;
+        if (prepared == nullptr) {
+          prepared = std::move(result.artifacts);  // shared, not copied
+        }
+      }
       slot.metrics.ns = circuit->netlist.num_flip_flops();
       slot.metrics.ng = circuit->netlist.num_combinational_gates();
       slot.seconds = seconds_since(j0);
       slot.completed = true;
-      if (prepared == nullptr) {
-        prepared = std::move(result.artifacts);  // shared, not copied
-      }
       if (options_.on_job_complete || options_.log != nullptr) {
         const std::lock_guard<std::mutex> lock(sink_mutex);
         if (options_.log != nullptr) {
@@ -174,6 +229,7 @@ CampaignResult CampaignRunner::run(
               "campaign", "job_complete",
               {obs::LogField::u64("index", static_cast<std::uint64_t>(idx)),
                obs::LogField::str("circuit", job.circuit),
+               obs::LogField::str("kind", job_kind_name(job.kind)),
                obs::LogField::f64("quantile", job.quantile),
                obs::LogField::f64("td", slot.metrics.designated_period),
                obs::LogField::f64("ra", slot.metrics.ra),

@@ -42,6 +42,21 @@ class StructuredLog;
 
 namespace effitest::core {
 
+/// What one campaign job computes.
+enum class JobKind {
+  /// The paper's Monte-Carlo flow (run_flow): tester iterations + yields.
+  kFlow,
+  /// Analytic post-tuning SSTA (analytic::analyze_tuned_period): tuned /
+  /// untuned required-period distributions and analytic yields — orders of
+  /// magnitude cheaper per circuit, no per-chip sampling.
+  kAnalytic,
+};
+
+/// "flow" / "analytic" (scenario specs, checkpoints, CLI --modes).
+[[nodiscard]] const char* job_kind_name(JobKind kind);
+/// Inverse of job_kind_name; throws std::invalid_argument on anything else.
+[[nodiscard]] JobKind job_kind_from(const std::string& name);
+
 /// One flow invocation of a campaign.
 struct CampaignJob {
   /// Catalog name of the circuit (a paper benchmark name under the default
@@ -56,6 +71,11 @@ struct CampaignJob {
   /// the same way the CLI and Table-2 bench always have
   /// (seed ^ core::kQuantileCalibrationSeedXor).
   double quantile = -1.0;
+  /// What this job computes. Analytic jobs share the circuit group's
+  /// prepared model (the engine runs once per circuit — its result is
+  /// T_d-independent) and calibrate T_d exactly like flow jobs, so the two
+  /// kinds' yields compare at identical designated periods.
+  JobKind kind = JobKind::kFlow;
 };
 
 struct CampaignJobResult {
@@ -141,12 +161,14 @@ class CampaignRunner {
   /// job's FlowArtifacts.
   [[nodiscard]] CampaignResult run(const std::vector<CampaignJob>& jobs) const;
 
-  /// Cross product: every circuit at every quantile, circuit-major (so the
-  /// runner groups them into one preparation per circuit). An empty
-  /// quantile list yields one default-convention job per circuit.
+  /// Cross product: every circuit at every quantile for every job kind,
+  /// circuit-major (so the runner groups them into one preparation per
+  /// circuit). An empty quantile list yields one default-convention job per
+  /// circuit and kind; an empty kind list means flow only.
   [[nodiscard]] static std::vector<CampaignJob> cross(
       const std::vector<std::string>& circuits,
-      const std::vector<double>& quantiles);
+      const std::vector<double>& quantiles,
+      const std::vector<JobKind>& kinds = {JobKind::kFlow});
 
  private:
   CampaignOptions options_;

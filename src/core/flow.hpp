@@ -92,6 +92,14 @@ struct FlowMetrics {
   // Diagnostics.
   std::size_t forced_resolutions = 0;
   std::size_t infeasible_configs = 0;
+
+  // Analytic post-tuning SSTA (campaign JobKind::kAnalytic jobs; zero for
+  // Monte-Carlo flow jobs). Clark mean/sigma of the untuned and the
+  // post-tuning required clock period.
+  double untuned_mean = 0.0;
+  double untuned_sigma = 0.0;
+  double tuned_mean = 0.0;
+  double tuned_sigma = 0.0;
 };
 
 struct FlowArtifacts {

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "io/json.hpp"
 #include "scenario/circuit_catalog.hpp"
@@ -61,6 +62,16 @@ constexpr DoubleField kDoubleFields[] = {
     {"tp_seconds", &core::FlowMetrics::tp_seconds},
     {"tt_seconds_per_chip", &core::FlowMetrics::tt_seconds_per_chip},
     {"ts_seconds_per_chip", &core::FlowMetrics::ts_seconds_per_chip},
+};
+
+// Analytic-SSTA fields (campaign JobKind::kAnalytic). Written always,
+// optional on read so checkpoints that predate the analytic engine still
+// resume (they default to 0, matching what their flow jobs carried).
+constexpr DoubleField kOptionalDoubleFields[] = {
+    {"untuned_mean", &core::FlowMetrics::untuned_mean},
+    {"untuned_sigma", &core::FlowMetrics::untuned_sigma},
+    {"tuned_mean", &core::FlowMetrics::tuned_mean},
+    {"tuned_sigma", &core::FlowMetrics::tuned_sigma},
 };
 
 [[noreturn]] void fail(const std::string& path, const std::string& what) {
@@ -120,6 +131,16 @@ core::FlowMetrics read_metrics(const std::string& path,
         require(path, obj, f.name, json::Value::Kind::kNumber).number;
     ++expected;
   }
+  for (const DoubleField& f : kOptionalDoubleFields) {
+    const json::Value* v = obj.find(f.name);
+    if (v == nullptr) continue;
+    if (v->kind != json::Value::Kind::kNumber) {
+      fail(path, "line " + std::to_string(v->line) + ": \"" +
+                     std::string(f.name) + "\" must be a number");
+    }
+    m.*(f.member) = v->number;
+    ++expected;
+  }
   if (obj.object.size() != expected) {
     fail(path, "line " + std::to_string(obj.line) +
                    ": metrics object has unexpected keys");
@@ -144,6 +165,10 @@ void append_metrics(json::Writer& w, const core::FlowMetrics& m) {
     sep();
     w.key(f.name).number(m.*(f.member));
   }
+  for (const DoubleField& f : kOptionalDoubleFields) {
+    sep();
+    w.key(f.name).number(m.*(f.member));
+  }
   w.raw("}");
 }
 
@@ -154,6 +179,11 @@ void append_entry(json::Writer& w, std::size_t index,
   w.raw("{").key("circuit").string(result.job.circuit);
   w.raw(", ").key("designated_period").number(result.job.designated_period);
   w.raw(", ").key("quantile").number(result.job.quantile);
+  // Kind only when non-default, so pre-analytic checkpoints round-trip
+  // byte-identically.
+  if (result.job.kind != core::JobKind::kFlow) {
+    w.raw(", ").key("kind").string(core::job_kind_name(result.job.kind));
+  }
   w.raw("},\n     ").key("seconds").number(result.seconds);
   w.raw(",\n     ").key("metrics");
   append_metrics(w, result.metrics);
@@ -204,6 +234,11 @@ std::string campaign_identity(const std::vector<core::CampaignJob>& jobs,
     canon += "\njob " + job.circuit + " td=" +
              json::format_double(job.designated_period) +
              " q=" + json::format_double(job.quantile);
+    // Appended only for analytic jobs: flow-only campaigns keep the
+    // identities their existing checkpoints were stamped with.
+    if (job.kind != core::JobKind::kFlow) {
+      canon += std::string(" kind=") + core::job_kind_name(job.kind);
+    }
   }
   std::ostringstream hex;
   hex << std::hex;
@@ -274,7 +309,7 @@ CampaignCheckpoint load_campaign_checkpoint(const std::string& path) {
     const json::Value& job =
         require(path, entry, "job", json::Value::Kind::kObject);
     reject_unknown_keys(path, job,
-                        {"circuit", "designated_period", "quantile"});
+                        {"circuit", "designated_period", "quantile", "kind"});
     core::CampaignJobResult result;
     result.job.circuit =
         require(path, job, "circuit", json::Value::Kind::kString).string;
@@ -283,6 +318,17 @@ CampaignCheckpoint load_campaign_checkpoint(const std::string& path) {
             .number;
     result.job.quantile =
         require(path, job, "quantile", json::Value::Kind::kNumber).number;
+    if (const json::Value* kind = job.find("kind")) {
+      if (kind->kind != json::Value::Kind::kString) {
+        fail(path, "line " + std::to_string(kind->line) +
+                       ": \"kind\" must be a string");
+      }
+      try {
+        result.job.kind = core::job_kind_from(kind->string);
+      } catch (const std::invalid_argument& e) {
+        fail(path, "line " + std::to_string(kind->line) + ": " + e.what());
+      }
+    }
     result.seconds =
         require(path, entry, "seconds", json::Value::Kind::kNumber).number;
     result.metrics = read_metrics(

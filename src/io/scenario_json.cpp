@@ -3,6 +3,7 @@
 #include <cmath>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "io/json.hpp"
@@ -278,7 +279,8 @@ Scenario parse_scenario_impl(const std::string& text,
   r.reject_unknown_keys(
       root,
       {"schema", "name", "chips", "seed", "threads", "inflation",
-       "calibration_chips", "quantiles", "periods", "flow", "circuits"},
+       "calibration_chips", "quantiles", "periods", "modes", "flow",
+       "circuits"},
       "the scenario spec");
 
   const JsonValue& schema =
@@ -327,6 +329,34 @@ Scenario parse_scenario_impl(const std::string& text,
       r, root, "periods", [](double td) { return td > 0.0; },
       "positive periods (ps)");
 
+  // Job kinds: "modes": ["flow", "analytic"] sweeps both per circuit;
+  // absent means the historical flow-only campaign.
+  std::vector<core::JobKind> modes;
+  if (const JsonValue* arr =
+          r.optional(root, "modes", JsonValue::Kind::kArray)) {
+    for (const JsonValue& v : arr->array) {
+      if (v.kind != JsonValue::Kind::kString) {
+        r.fail(v, "\"modes\" entries must be strings (flow, analytic)");
+      }
+      core::JobKind kind;
+      try {
+        kind = core::job_kind_from(v.string);
+      } catch (const std::invalid_argument& e) {
+        r.fail(v, e.what());
+      }
+      for (const core::JobKind seen : modes) {
+        if (seen == kind) {
+          r.fail(v, "mode \"" + v.string + "\" is listed twice");
+        }
+      }
+      modes.push_back(kind);
+    }
+    if (modes.empty()) {
+      r.fail(*arr, "\"modes\" must name at least one mode");
+    }
+  }
+  if (modes.empty()) modes.push_back(core::JobKind::kFlow);
+
   const JsonValue& circuits =
       r.require(root, "circuits", JsonValue::Kind::kArray);
   if (circuits.array.empty()) {
@@ -363,18 +393,21 @@ Scenario parse_scenario_impl(const std::string& text,
     job_circuits.push_back(std::move(circuit.name));
   }
 
-  // Circuit-major cross of circuits x (periods + quantiles): the runner
-  // groups same-circuit jobs into one preparation.
+  // Circuit-major cross of circuits x modes x (periods + quantiles): the
+  // runner groups same-circuit jobs into one preparation (flow artifacts
+  // and the analytic engine result are both per-circuit caches).
   for (const std::string& circuit : job_circuits) {
-    if (periods.empty() && quantiles.empty()) {
-      scenario.jobs.push_back(core::CampaignJob{circuit, 0.0, -1.0});
-      continue;
-    }
-    for (double td : periods) {
-      scenario.jobs.push_back(core::CampaignJob{circuit, td, -1.0});
-    }
-    for (double q : quantiles) {
-      scenario.jobs.push_back(core::CampaignJob{circuit, 0.0, q});
+    for (const core::JobKind kind : modes) {
+      if (periods.empty() && quantiles.empty()) {
+        scenario.jobs.push_back(core::CampaignJob{circuit, 0.0, -1.0, kind});
+        continue;
+      }
+      for (double td : periods) {
+        scenario.jobs.push_back(core::CampaignJob{circuit, td, -1.0, kind});
+      }
+      for (double q : quantiles) {
+        scenario.jobs.push_back(core::CampaignJob{circuit, 0.0, q, kind});
+      }
     }
   }
 

@@ -18,6 +18,7 @@
 //     "calibration_chips": 2000,
 //     "quantiles": [0.5, 0.8413],      // T_d calibration quantiles
 //     "periods": [6000.0],             // explicit T_d values (ps)
+//     "modes": ["flow", "analytic"],   // job kinds; default ["flow"]
 //     "flow": { "prediction": true, "alignment": true,
 //               "exclusions": false },
 //     "circuits": [                    // required, non-empty
@@ -31,9 +32,9 @@
 //     ]
 //   }
 //
-// Jobs are the circuit-major cross of circuits x (periods + quantiles)
-// (one default-convention job per circuit when both grids are empty), so
-// the runner prepares each circuit once. The catalog starts from the
+// Jobs are the circuit-major cross of circuits x modes x (periods +
+// quantiles) (one default-convention job per circuit and mode when both
+// grids are empty), so the runner prepares each circuit once. The catalog starts from the
 // eight paper benchmarks; a {"paper": ...} entry without overrides just
 // references the pre-registered circuit, while any override (seed, scale)
 // must pick a distinct "name". Relative .bench paths resolve against the

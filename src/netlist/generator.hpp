@@ -75,7 +75,13 @@ struct GeneratedCircuit {
 /// pci_bridge32), including their published ns/ng/nb/np statistics.
 [[nodiscard]] std::vector<GeneratorSpec> paper_benchmark_specs();
 
-/// Convenience: the spec for one named paper benchmark. Throws if unknown.
+/// The largest ISCAS89 circuits beyond the paper's Table 1 (s35932,
+/// s38417), with published ns/ng and Table-1-density nb/np — the
+/// full-ISCAS89 scale the analytic engine benchmarks open up.
+[[nodiscard]] std::vector<GeneratorSpec> extended_benchmark_specs();
+
+/// Convenience: the spec for one named paper or extended benchmark.
+/// Throws if unknown.
 [[nodiscard]] GeneratorSpec paper_benchmark_spec(const std::string& name);
 
 }  // namespace effitest::netlist

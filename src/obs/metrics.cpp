@@ -15,6 +15,12 @@ void Histogram::record(double seconds) {
     bucket = std::min(bucket, kBuckets - 1);
   }
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  // CAS loop: atomic<double>::fetch_add is not guaranteed lock-free
+  // everywhere this builds (same pattern as Gauge::add).
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + seconds,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 HistogramSnapshot Histogram::snapshot() const {
@@ -23,6 +29,7 @@ HistogramSnapshot Histogram::snapshot() const {
     snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
     snap.count += snap.buckets[b];
   }
+  snap.sum = sum_.load(std::memory_order_relaxed);
   return snap;
 }
 
@@ -167,11 +174,22 @@ std::string render_prometheus_text(const RegistrySnapshot& snap) {
   }
   for (const auto& [name, h] : snap.histograms) {
     const std::string pname = sanitize(name);
-    text += "# TYPE " + pname + " summary\n";
-    for (const double q : {0.50, 0.90, 0.99}) {
-      text += pname + "{quantile=\"" + io::json::format_double(q) + "\"} " +
-              io::json::format_double(h.quantile(q)) + "\n";
+    text += "# TYPE " + pname + " histogram\n";
+    // Native histogram exposition: one cumulative line per bucket; the
+    // record() clamp makes the last bucket the +Inf catch-all, so its
+    // cumulative value is exactly _count.
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      cumulative += h.buckets[b];
+      const std::string le =
+          b + 1 == HistogramSnapshot::kBuckets
+              ? "+Inf"
+              : io::json::format_double(
+                    HistogramSnapshot::bucket_upper_bound(b));
+      text += pname + "_bucket{le=\"" + le + "\"} " +
+              std::to_string(cumulative) + "\n";
     }
+    text += pname + "_sum " + io::json::format_double(h.sum) + "\n";
     text += pname + "_count " + std::to_string(h.count) + "\n";
   }
   return text;

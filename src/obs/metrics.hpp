@@ -77,14 +77,24 @@ class Gauge {
 };
 
 /// Frozen histogram state: the bucket copy is internally consistent (count
-/// is the sum of the copied buckets, never a separately-raced field).
+/// is the sum of the copied buckets, never a separately-raced field). `sum`
+/// is copied from its own accumulator and may trail the buckets by the
+/// events racing with the snapshot — fine for the rate/mean arithmetic the
+/// exposition format exists for.
 struct HistogramSnapshot {
   static constexpr std::size_t kBuckets = 48;
   std::array<std::uint64_t, kBuckets> buckets{};
   std::uint64_t count = 0;
+  double sum = 0.0;  ///< total recorded duration, seconds
 
   /// q in [0, 1]; 0 when nothing was recorded. Answers in seconds.
   [[nodiscard]] double quantile(double q) const;
+
+  /// Inclusive upper bound of bucket b in seconds (2^(b+1) us); the last
+  /// bucket is the +Inf catch-all.
+  [[nodiscard]] static double bucket_upper_bound(std::size_t b) {
+    return static_cast<double>(std::uint64_t{1} << (b + 1)) * 1e-6;
+  }
 };
 
 /// Power-of-two-bucketed duration histogram, recording in seconds.
@@ -99,6 +109,7 @@ class Histogram {
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<double> sum_{0.0};  ///< CAS-accumulated; see Gauge::add
 };
 
 struct RegistrySnapshot {
@@ -144,9 +155,10 @@ class MetricsRegistry {
 /// Metric names are prefixed `effitest_` with non-[a-zA-Z0-9_] characters
 /// mapped to `_` (serve.sessions_per_sec -> effitest_serve_sessions_per_sec);
 /// counters render as `# TYPE ... counter`, gauges as gauges, histograms as
-/// summaries with p50/p90/p99 quantile labels plus a `_count` series.
-/// Quantiles are in seconds, matching the JSON rendering. Multi-line, ends
-/// with a newline.
+/// native `# TYPE ... histogram` series: one cumulative `_bucket{le="..."}`
+/// line per power-of-two bucket (upper bounds in seconds), the final bucket
+/// as `le="+Inf"` (whose value equals `_count`), plus `_sum` and `_count`.
+/// Multi-line, ends with a newline.
 [[nodiscard]] std::string render_prometheus_text(const RegistrySnapshot& snap);
 
 }  // namespace effitest::obs

@@ -133,6 +133,10 @@ std::shared_ptr<CircuitCatalog> CircuitCatalog::make_paper() {
   for (const netlist::GeneratorSpec& spec : netlist::paper_benchmark_specs()) {
     catalog->add(spec.name, PaperCircuit{spec.name, std::nullopt});
   }
+  for (const netlist::GeneratorSpec& spec :
+       netlist::extended_benchmark_specs()) {
+    catalog->add(spec.name, PaperCircuit{spec.name, std::nullopt});
+  }
   return catalog;
 }
 

@@ -148,6 +148,12 @@ class CircuitModel {
   [[nodiscard]] std::size_t num_static_pairs() const {
     return static_forms_.size();
   }
+  /// Canonical forms of the promoted background pairs (setup margin
+  /// included, like the monitored max forms). Their registers carry no
+  /// buffer, so their pass constraint has no tuning slack.
+  [[nodiscard]] const std::vector<DelayForm>& static_forms() const {
+    return static_forms_;
+  }
   /// Count of background pairs discarded as statically safe.
   [[nodiscard]] std::size_t num_discarded_pairs() const {
     return discarded_pairs_;

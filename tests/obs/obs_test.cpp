@@ -68,6 +68,59 @@ TEST(Metrics, HistogramQuantilesUsePowerOfTwoMidpoints) {
   EXPECT_EQ(obs::Histogram().snapshot().quantile(0.5), 0.0);  // empty
 }
 
+TEST(Metrics, HistogramSumAccumulatesRecordedSeconds) {
+  obs::Histogram h;
+  h.record(100e-6);
+  h.record(0.5);
+  h.record(1e-9);
+  const obs::HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 100e-6 + 0.5 + 1e-9);
+}
+
+TEST(Metrics, PrometheusHistogramRendersCumulativeBuckets) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("serve.session_latency_us");
+  h.record(100e-6);  // bucket 6 [64, 128) us
+  h.record(100e-6);
+  h.record(0.5);  // bucket 18
+
+  const std::string text = obs::render_prometheus_text(registry.snapshot());
+  EXPECT_NE(
+      text.find("# TYPE effitest_serve_session_latency_us histogram\n"),
+      std::string::npos)
+      << text;
+  // Cumulative series: below bucket 6 nothing, at its upper bound
+  // (128 us) both fast events, +Inf everything.
+  const std::string pname = "effitest_serve_session_latency_us";
+  const auto le = [](std::size_t b) {
+    return io::json::format_double(
+        obs::HistogramSnapshot::bucket_upper_bound(b));
+  };
+  EXPECT_NE(text.find(pname + "_bucket{le=\"" + le(5) + "\"} 0\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find(pname + "_bucket{le=\"" + le(6) + "\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find(pname + "_bucket{le=\"+Inf\"} 3\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find(pname + "_sum " +
+                      io::json::format_double(100e-6 + 100e-6 + 0.5) + "\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find(pname + "_count 3\n"), std::string::npos) << text;
+
+  // The cumulative series is monotone and one line per bucket.
+  std::size_t bucket_lines = 0;
+  for (std::size_t pos = text.find(pname + "_bucket");
+       pos != std::string::npos;
+       pos = text.find(pname + "_bucket", pos + 1)) {
+    ++bucket_lines;
+  }
+  EXPECT_EQ(bucket_lines, obs::HistogramSnapshot::kBuckets);
+}
+
 TEST(Metrics, SnapshotsAreMonotoneAndQuiescentSnapshotsEqual) {
   obs::MetricsRegistry registry;
   registry.counter("a").inc(5);

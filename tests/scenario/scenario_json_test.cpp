@@ -41,8 +41,8 @@ TEST(ScenarioJson, ParsesMixedSpecIntoCatalogJobsAndOptions) {
   ASSERT_NE(s.catalog, nullptr);
   EXPECT_EQ(s.options.catalog.get(), s.catalog.get());
 
-  // Paper benchmarks pre-registered + the four new entries.
-  EXPECT_EQ(s.catalog->names().size(), 12u);
+  // Paper + extended benchmarks pre-registered + the four new entries.
+  EXPECT_EQ(s.catalog->names().size(), 14u);
   EXPECT_TRUE(s.catalog->contains("s9234"));
   EXPECT_TRUE(s.catalog->contains("s13207_reseeded"));
   EXPECT_TRUE(s.catalog->contains("s9234_double"));
@@ -111,7 +111,7 @@ TEST(ScenarioJson, MinimalSpecDefaultsToOneJobPerCircuit) {
            "circuits": [ { "paper": "s9234" } ] })",
       "min.json");
   EXPECT_EQ(s.name, "min");
-  EXPECT_EQ(s.catalog->names().size(), 8u);  // bare reference, no re-add
+  EXPECT_EQ(s.catalog->names().size(), 10u);  // bare reference, no re-add
   ASSERT_EQ(s.jobs.size(), 1u);
   EXPECT_EQ(s.jobs[0].circuit, "s9234");
   EXPECT_EQ(s.jobs[0].designated_period, 0.0);

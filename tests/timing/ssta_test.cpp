@@ -103,6 +103,114 @@ TEST(ClarkMax, MatchesMonteCarloOnCorrelatedPair) {
   EXPECT_NEAR(m.variance(), mc_var, 0.25);
 }
 
+/// Brute-force max moments: sample the union of shared factors plus each
+/// form's private term, take max, accumulate mean/variance.
+std::pair<double, double> mc_max_moments(const CanonicalDelay& a,
+                                         const CanonicalDelay& b,
+                                         std::size_t trials,
+                                         std::uint64_t seed) {
+  int max_id = -1;
+  for (const auto& [id, w] : a.loading) max_id = std::max(max_id, id);
+  for (const auto& [id, w] : b.loading) max_id = std::max(max_id, id);
+  stats::Rng rng(seed);
+  std::vector<double> z(static_cast<std::size_t>(max_id + 1));
+  double sum = 0.0;
+  double sq = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (double& zi : z) zi = rng.normal();
+    const double da = a.mean + sparse_apply(a.loading, z) +
+                      std::sqrt(a.indep_var) * rng.normal();
+    const double db = b.mean + sparse_apply(b.loading, z) +
+                      std::sqrt(b.indep_var) * rng.normal();
+    const double v = std::max(da, db);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / static_cast<double>(trials);
+  return {mean, sq / static_cast<double>(trials) - mean * mean};
+}
+
+TEST(ClarkMax, ZeroVarianceInputsAreDeterministicMax) {
+  // Degenerate theta = 0: the larger mean must win outright, with no
+  // manufactured variance.
+  const CanonicalDelay a = make(10.0, {});
+  const CanonicalDelay b = make(12.0, {});
+  const CanonicalDelay m = canonical_max(a, b);
+  EXPECT_DOUBLE_EQ(m.mean, 12.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  const auto [mc_mean, mc_var] = mc_max_moments(a, b, 1000, 7);
+  EXPECT_DOUBLE_EQ(mc_mean, 12.0);
+  EXPECT_DOUBLE_EQ(mc_var, 0.0);
+
+  // One deterministic input far below a random one: the random form
+  // passes through untouched.
+  const CanonicalDelay det = make(0.0, {});
+  const CanonicalDelay rnd = make(50.0, {{0, 2.0}}, 1.0);
+  const CanonicalDelay m2 = canonical_max(det, rnd);
+  EXPECT_NEAR(m2.mean, 50.0, 1e-9);
+  EXPECT_NEAR(m2.variance(), 5.0, 1e-6);
+}
+
+TEST(ClarkMax, IdenticalFormsAreAFixedPoint) {
+  // max(X, X) = X: theta = 0 through the correlated-variance path, not
+  // just for constants.
+  const CanonicalDelay a = make(20.0, {{0, 1.5}, {3, 2.0}}, 0.0);
+  const CanonicalDelay m = canonical_max(a, a);
+  EXPECT_DOUBLE_EQ(m.mean, a.mean);
+  EXPECT_DOUBLE_EQ(m.variance(), a.variance());
+  EXPECT_DOUBLE_EQ(canonical_cov(m, a), a.variance());
+  const auto [mc_mean, mc_var] = mc_max_moments(a, a, 40000, 11);
+  EXPECT_NEAR(m.mean, mc_mean, 0.05);
+  EXPECT_NEAR(m.variance(), mc_var, 0.1);
+}
+
+TEST(ClarkMax, PerfectlyCorrelatedMatchesMonteCarlo) {
+  // Same loading, shifted mean: max is exactly the upper branch, and the
+  // Clark tie probability must not dilute the loading.
+  const CanonicalDelay a = make(10.0, {{0, 2.0}});
+  const CanonicalDelay b = make(12.0, {{0, 2.0}});
+  const CanonicalDelay m = canonical_max(a, b);
+  EXPECT_DOUBLE_EQ(m.mean, 12.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 4.0);
+  const auto [mc_mean, mc_var] = mc_max_moments(a, b, 60000, 13);
+  EXPECT_NEAR(m.mean, mc_mean, 0.05);
+  EXPECT_NEAR(m.variance(), mc_var, 0.1);
+}
+
+TEST(ClarkMax, PerfectlyAnticorrelatedMatchesMonteCarlo) {
+  // Opposite loadings on one factor: max(m + 2z, m - 2z) = m + 2|z|, the
+  // folded normal -- mean m + 2 sqrt(2/pi), var 4 (1 - 2/pi). This is the
+  // worst case for the Gaussian-max approximation's *shape*, but Clark
+  // matches the first two moments exactly.
+  constexpr double kPi = 3.14159265358979323846;
+  const CanonicalDelay a = make(100.0, {{0, 2.0}});
+  const CanonicalDelay b = make(100.0, {{0, -2.0}});
+  const CanonicalDelay m = canonical_max(a, b);
+  EXPECT_NEAR(m.mean, 100.0 + 2.0 * std::sqrt(2.0 / kPi), 1e-9);
+  EXPECT_NEAR(m.variance(), 4.0 * (1.0 - 2.0 / kPi), 1e-9);
+  const auto [mc_mean, mc_var] = mc_max_moments(a, b, 60000, 17);
+  EXPECT_NEAR(m.mean, mc_mean, 0.05);
+  EXPECT_NEAR(m.variance(), mc_var, 0.1);
+}
+
+TEST(ClarkMax, LargeAlphaTailsKeepTheDominantForm) {
+  // |alpha| >> 1 (means 20 sigma apart): the result must be the dominant
+  // input's form -- mean, variance AND loadings (covariance against a
+  // third form probes the loadings, not just the diagonal).
+  const CanonicalDelay hi = make(200.0, {{0, 1.0}, {1, 0.5}}, 0.25);
+  const CanonicalDelay lo = make(170.0, {{2, 1.0}}, 0.5);
+  const CanonicalDelay probe = make(0.0, {{0, 1.0}});
+  for (const auto& [a, b] : {std::pair{hi, lo}, std::pair{lo, hi}}) {
+    const CanonicalDelay m = canonical_max(a, b);
+    EXPECT_NEAR(m.mean, hi.mean, 1e-9);
+    EXPECT_NEAR(m.variance(), hi.variance(), 1e-9);
+    EXPECT_NEAR(canonical_cov(m, probe), 1.0, 1e-9);
+  }
+  const auto [mc_mean, mc_var] = mc_max_moments(hi, lo, 60000, 19);
+  EXPECT_NEAR(hi.mean, mc_mean, 0.05);
+  EXPECT_NEAR(hi.variance(), mc_var, 0.1);
+}
+
 TEST(StatisticalMax, EmptyThrows) {
   EXPECT_THROW(statistical_max({}), std::invalid_argument);
 }

@@ -8,8 +8,15 @@
 //             and optionally export it as ISCAS89 .bench with placement.
 //   info      --bench=file.bench | --circuit=<name>
 //             Print structural and timing statistics.
-//   ssta      --bench=... | --circuit=...
+//   ssta      --bench=... | --circuit=... [--chips=N] [--threads=N]
+//             [--tuned] [--criticality] [--json=file]
 //             Analytic (Clark) vs Monte-Carlo untuned-period distribution.
+//             --tuned adds the post-tuning analysis (src/analytic/):
+//             analytic tuned-period mean/sigma/quantiles against the exact
+//             per-die Monte-Carlo reference, with wall-clock for both.
+//             --criticality (implies --tuned) also ranks register pairs by
+//             their probability of limiting the tuned period. --json writes
+//             the numbers as effitest-bench-v1 records.
 //   run       --bench=... [--buffers=N] [--policy=p] | --circuit=<name>
 //             [--chips=N] [--td=ps] [--quantile=q] [--no-prediction]
 //             [--no-alignment] [--seed=S] [--threads=N] [--json=file]
@@ -118,6 +125,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdint>
@@ -132,6 +140,7 @@
 #include <utility>
 #include <vector>
 
+#include "analytic/engine.hpp"
 #include "core/campaign.hpp"
 #include "core/flow.hpp"
 #include "core/table.hpp"
@@ -286,9 +295,12 @@ const std::map<std::string, CommandSpec>& command_specs() {
         "info     --bench=file | --circuit=<name> [--buffers=N] "
         "[--policy=p]"}},
       {"ssta",
-       {{"bench", "circuit", "buffers", "policy", "seed", "chips"},
-        {},
-        "ssta     --bench=file | --circuit=<name> [--chips=N]"}},
+       {{"bench", "circuit", "buffers", "policy", "seed", "chips", "threads",
+         "json", "log-format", "log-file"},
+        {"tuned", "criticality"},
+        "ssta     --bench=file | --circuit=<name> [--chips=N] [--threads=N]\n"
+        "         [--tuned] [--criticality] [--json=file]\n"
+        "         [--log-format=text|json] [--log-file=path]"}},
       {"run",
        {{"bench", "buffers", "policy", "circuit", "chips", "td", "quantile",
          "seed", "threads", "json", "log-format", "log-file"},
@@ -300,16 +312,18 @@ const std::map<std::string, CommandSpec>& command_specs() {
         "         [--json=file] [--log-format=text|json] "
         "[--log-file=path]"}},
       {"campaign",
-       {{"spec", "circuits", "quantiles", "chips", "seed", "threads",
+       {{"spec", "circuits", "quantiles", "modes", "chips", "seed", "threads",
          "inflation", "json", "checkpoint", "stop-after", "log-format",
          "log-file"},
         {"resume"},
         "campaign --spec=file.json | [--circuits=a,b,...] "
         "[--quantiles=q1,q2,...]\n"
-        "         [--chips=N] [--seed=S] [--threads=N] [--inflation=k]\n"
-        "         [--json=file] [--checkpoint=file [--resume]] "
-        "[--stop-after=K]\n"
-        "         [--log-format=text|json] [--log-file=path]"}},
+        "         [--modes=flow,analytic] [--chips=N] [--seed=S] "
+        "[--threads=N]\n"
+        "         [--inflation=k] [--json=file] [--checkpoint=file "
+        "[--resume]]\n"
+        "         [--stop-after=K] [--log-format=text|json] "
+        "[--log-file=path]"}},
       {"circuits",
        {{"spec"}, {}, "circuits [--spec=file.json]"}},
       {"tune",
@@ -371,6 +385,7 @@ void usage(std::ostream& os) {
   }
   os << "paper circuits: s9234 s13207 s15850 s38584 mem_ctrl usb_funct "
         "ac97_ctrl pci_bridge32\n"
+        "extended circuits (full ISCAS89 scale): s35932 s38417\n"
         "buffer policies (--policy, .bench imports): hub-count worst-delay\n";
 }
 
@@ -570,6 +585,7 @@ int cmd_info(const Cli& cli) {
 }
 
 int cmd_ssta(const Cli& cli) {
+  const LogSink sink = make_structured_log(cli);
   const auto circuit = provision_circuit(cli);
   const timing::VariationModel variation(timing::VariationParams{},
                                          circuit->library);
@@ -579,6 +595,17 @@ int cmd_ssta(const Cli& cli) {
   const core::Problem& problem = circuit->problem;
   const std::size_t chips =
       cli.get("chips") ? parse_size("chips", *cli.get("chips")) : 4000;
+  const std::size_t threads =
+      cli.get("threads") ? parse_size("threads", *cli.get("threads")) : 0;
+  const bool criticality = cli.has_flag("criticality");
+  const bool tuned = cli.has_flag("tuned") || criticality;
+  if (sink.log != nullptr) {
+    sink.log->emit(
+        "ssta", "ssta_begin",
+        {obs::LogField::str("circuit", circuit->netlist.name()),
+         obs::LogField::u64("chips", static_cast<std::uint64_t>(chips)),
+         obs::LogField::boolean("tuned", tuned)});
+  }
   stats::Rng rng(11);
   const double mc_t1 = core::period_quantile(problem, 0.5, chips, rng);
   stats::Rng rng2(11);
@@ -593,7 +620,119 @@ int cmd_ssta(const Cli& cli) {
   t.add_row({"T2 = 84.13% quantile",
              core::Table::num(analytic.quantile(0.8413), 2),
              core::Table::num(mc_t2, 2)});
+
+  // Post-tuning analysis: the analytic engine vs the exact per-die
+  // Monte-Carlo reference on the same contracted constraint graph.
+  std::optional<analytic::TunedPeriodAnalysis> tuned_analysis;
+  analytic::McTunedPeriod tuned_mc;
+  double analytic_seconds = 0.0;
+  double mc_seconds = 0.0;
+  if (tuned) {
+    const auto a0 = std::chrono::steady_clock::now();
+    tuned_analysis = analytic::analyze_tuned_period(problem);
+    analytic_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - a0)
+            .count();
+    analytic::McTunedOptions mopts;
+    mopts.chips = chips;
+    mopts.threads = threads;
+    const auto m0 = std::chrono::steady_clock::now();
+    tuned_mc = analytic::mc_tuned_period(problem, mopts);
+    mc_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - m0)
+            .count();
+    t.add_row({"tuned mean (ps)",
+               core::Table::num(tuned_analysis->tuned.mean, 2),
+               core::Table::num(tuned_mc.mean, 2)});
+    t.add_row({"tuned sigma (ps)",
+               core::Table::num(tuned_analysis->tuned.sigma(), 2),
+               core::Table::num(tuned_mc.sigma, 2)});
+    t.add_row({"tuned T1 = 50% quantile",
+               core::Table::num(tuned_analysis->tuned_quantile(0.5), 2),
+               core::Table::num(tuned_mc.quantile(0.5), 2)});
+    t.add_row({"tuned T2 = 84.13% quantile",
+               core::Table::num(tuned_analysis->tuned_quantile(0.8413), 2),
+               core::Table::num(tuned_mc.quantile(0.8413), 2)});
+  }
   t.print(std::cout);
+  if (tuned) {
+    std::cout << "post-tuning analysis: " << tuned_analysis->candidates.size()
+              << " candidate cycle(s), engine "
+              << core::Table::num(analytic_seconds * 1e3, 2) << " ms vs "
+              << chips << "-chip MC "
+              << core::Table::num(mc_seconds * 1e3, 2) << " ms\n";
+  }
+
+  if (criticality) {
+    // Rank register pairs by their probability of limiting the tuned
+    // period (candidate mass split over each dominant cycle).
+    std::vector<std::size_t> order(tuned_analysis->pair_criticality.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                     std::size_t b) {
+      return tuned_analysis->pair_criticality[a] >
+             tuned_analysis->pair_criticality[b];
+    });
+    core::Table ct({"pair", "src FF", "dst FF", "criticality (%)"});
+    std::size_t shown = 0;
+    for (const std::size_t p : order) {
+      if (shown >= 10 || tuned_analysis->pair_criticality[p] < 1e-6) break;
+      const timing::MonitoredPair& pair = circuit->model.pairs()[p];
+      ct.add_row({core::Table::num(p),
+                  circuit->netlist.cell(pair.src_ff).name,
+                  circuit->netlist.cell(pair.dst_ff).name,
+                  core::Table::num(
+                      tuned_analysis->pair_criticality[p] * 100, 2)});
+      ++shown;
+    }
+    std::cout << "\npost-tuning criticality (top " << shown << " of "
+              << tuned_analysis->pair_criticality.size() << " pairs, "
+              << core::Table::num(tuned_analysis->static_criticality * 100, 2)
+              << "% on static background):\n";
+    ct.print(std::cout);
+  }
+
+  if (sink.log != nullptr) {
+    if (tuned) {
+      sink.log->emit(
+          "ssta", "ssta_complete",
+          {obs::LogField::str("circuit", circuit->netlist.name()),
+           obs::LogField::f64("untuned_mean", analytic.mean),
+           obs::LogField::f64("untuned_sigma", analytic.sigma()),
+           obs::LogField::f64("mc_t1", mc_t1),
+           obs::LogField::f64("tuned_mean", tuned_analysis->tuned.mean),
+           obs::LogField::f64("tuned_sigma", tuned_analysis->tuned.sigma()),
+           obs::LogField::f64("mc_tuned_mean", tuned_mc.mean)});
+    } else {
+      sink.log->emit(
+          "ssta", "ssta_complete",
+          {obs::LogField::str("circuit", circuit->netlist.name()),
+           obs::LogField::f64("untuned_mean", analytic.mean),
+           obs::LogField::f64("untuned_sigma", analytic.sigma()),
+           obs::LogField::f64("mc_t1", mc_t1)});
+    }
+  }
+
+  if (const auto json_path = cli.get("json")) {
+    io::JsonReporter json("ssta", threads);
+    const std::string label = circuit->netlist.name();
+    const auto record = [&](const char* metric, double value,
+                            double seconds) {
+      json.add(label, metric, value, seconds);
+    };
+    record("untuned_mean", analytic.mean, 0.0);
+    record("untuned_sigma", analytic.sigma(), 0.0);
+    record("mc_t1", mc_t1, 0.0);
+    record("mc_t2", mc_t2, 0.0);
+    if (tuned) {
+      record("tuned_mean", tuned_analysis->tuned.mean, analytic_seconds);
+      record("tuned_sigma", tuned_analysis->tuned.sigma(), analytic_seconds);
+      record("mc_tuned_mean", tuned_mc.mean, mc_seconds);
+      record("mc_tuned_sigma", tuned_mc.sigma, mc_seconds);
+    }
+    std::cout << "machine-readable output: " << json.write_file(*json_path)
+              << '\n';
+  }
   return 0;
 }
 
@@ -716,9 +855,10 @@ int cmd_campaign(const Cli& cli) {
   std::vector<core::CampaignJob> jobs;
 
   if (const auto spec_path = cli.get("spec")) {
-    if (cli.get("circuits") || cli.get("quantiles")) {
-      std::cerr << "error: campaign: --spec carries its own circuits and "
-                   "quantiles; drop --circuits/--quantiles\n";
+    if (cli.get("circuits") || cli.get("quantiles") || cli.get("modes")) {
+      std::cerr << "error: campaign: --spec carries its own circuits, "
+                   "quantiles and modes; drop --circuits/--quantiles/"
+                   "--modes\n";
       return 2;
     }
     io::Scenario scenario = io::load_scenario_file(*spec_path);
@@ -761,7 +901,18 @@ int cmd_campaign(const Cli& cli) {
         quantiles.push_back(parse_double("quantiles", q));
       }
     }
-    jobs = core::CampaignRunner::cross(circuits, quantiles);
+    std::vector<core::JobKind> kinds;
+    if (const auto modes = cli.get("modes")) {
+      for (const std::string& mode : split_list(*modes)) {
+        try {
+          kinds.push_back(core::job_kind_from(mode));
+        } catch (const std::invalid_argument& e) {
+          std::cerr << "error: campaign: --modes: " << e.what() << '\n';
+          return 2;
+        }
+      }
+    }
+    jobs = core::CampaignRunner::cross(circuits, quantiles, kinds);
   }
 
   // Checkpoint/resume plumbing (io/checkpoint_json.hpp). The identity hash
@@ -811,22 +962,24 @@ int cmd_campaign(const Cli& cli) {
 
   const core::CampaignResult result = core::CampaignRunner(copts).run(jobs);
 
-  core::Table t({"circuit", "q", "Td(ps)", "np", "npt", "ta", "ra(%)",
-                 "yt(%)", "yi(%)", "y0(%)", "job(s)"});
+  core::Table t({"circuit", "kind", "q", "Td(ps)", "np", "npt", "ta",
+                 "ra(%)", "yt(%)", "yi(%)", "y0(%)", "job(s)"});
   for (const core::CampaignJobResult& r : result.jobs) {
     if (!r.completed) continue;  // left pending by --stop-after
     const core::FlowMetrics& m = r.metrics;
+    const bool is_analytic = r.job.kind == core::JobKind::kAnalytic;
     t.add_row({
         r.job.circuit,
+        core::job_kind_name(r.job.kind),
         r.job.quantile >= 0.0
             ? core::Table::num(r.job.quantile, 4)
             : (r.job.designated_period > 0.0 ? "Td" : "T1"),
         core::Table::num(m.designated_period, 2),
         core::Table::num(m.np),
-        core::Table::num(m.npt),
-        core::Table::num(m.ta, 2),
-        core::Table::num(m.ra, 2),
-        core::Table::num(m.yield_proposed * 100, 2),
+        is_analytic ? "-" : core::Table::num(m.npt),
+        is_analytic ? "-" : core::Table::num(m.ta, 2),
+        is_analytic ? "-" : core::Table::num(m.ra, 2),
+        is_analytic ? "-" : core::Table::num(m.yield_proposed * 100, 2),
         core::Table::num(m.yield_ideal * 100, 2),
         core::Table::num(m.yield_no_buffer * 100, 2),
         core::Table::num(r.seconds, 2),
@@ -847,9 +1000,12 @@ int cmd_campaign(const Cli& cli) {
     for (const core::CampaignJobResult& r : result.jobs) {
       if (!r.completed) continue;
       const core::FlowMetrics& m = r.metrics;
-      // One label per (circuit, quantile/period) so sweep jobs stay
+      // One label per (circuit, kind, quantile/period) so sweep jobs stay
       // distinct.
       std::string label = r.job.circuit;
+      if (r.job.kind != core::JobKind::kFlow) {
+        label += std::string("@") + core::job_kind_name(r.job.kind);
+      }
       if (r.job.quantile >= 0.0) {
         label += "@q" + core::Table::num(r.job.quantile, 4);
       } else if (r.job.designated_period > 0.0) {
@@ -860,14 +1016,21 @@ int cmd_campaign(const Cli& cli) {
       };
       record("td", m.designated_period);
       record("np", static_cast<double>(m.np));
-      record("npt", static_cast<double>(m.npt));
-      record("ta", m.ta);
-      record("t'v", m.tv_pathwise);
-      record("ra", m.ra);
-      record("rv", m.rv);
       record("yield_no_buffer", m.yield_no_buffer);
-      record("yield_proposed", m.yield_proposed);
       record("yield_ideal", m.yield_ideal);
+      if (r.job.kind == core::JobKind::kAnalytic) {
+        record("untuned_mean", m.untuned_mean);
+        record("untuned_sigma", m.untuned_sigma);
+        record("tuned_mean", m.tuned_mean);
+        record("tuned_sigma", m.tuned_sigma);
+      } else {
+        record("npt", static_cast<double>(m.npt));
+        record("ta", m.ta);
+        record("t'v", m.tv_pathwise);
+        record("ra", m.ra);
+        record("rv", m.rv);
+        record("yield_proposed", m.yield_proposed);
+      }
     }
     std::cout << "machine-readable output: " << json.write_file(*json_path)
               << '\n';
